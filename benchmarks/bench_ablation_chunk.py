@@ -1,0 +1,6 @@
+"""Ablation: GA's AM chunk payload (the ~900-byte choice of 5.3.1)."""
+
+from repro.bench.ablations import run_ablation_chunk
+
+def bench_ablation_am_chunk_size(regen):
+    regen(run_ablation_chunk)

@@ -1,0 +1,6 @@
+"""Ablation: MP_EAGER_LIMIT sweep (the Figure 2 environment knob)."""
+
+from repro.bench.ablations import run_ablation_eager
+
+def bench_ablation_eager_limit(regen):
+    regen(run_ablation_eager)

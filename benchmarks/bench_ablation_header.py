@@ -1,0 +1,11 @@
+"""Ablation: LAPI packet header size (future-work item #1 of section 6).
+
+The 48-byte one-sided header carries target-side parameters in every
+packet; the sweep shows what shrinking it (as the authors propose)
+would buy at the bandwidth asymptote.
+"""
+
+from repro.bench.ablations import run_ablation_header
+
+def bench_ablation_header_size(regen):
+    regen(run_ablation_header)

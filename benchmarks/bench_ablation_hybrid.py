@@ -1,0 +1,6 @@
+"""Ablation: GA's hybrid AM/RMC protocol switch threshold (5.3)."""
+
+from repro.bench.ablations import run_ablation_hybrid
+
+def bench_ablation_hybrid_threshold(regen):
+    regen(run_ablation_hybrid)

@@ -1,0 +1,6 @@
+"""Ablation: hardware interrupt cost vs Table 2's polling gap."""
+
+from repro.bench.ablations import run_ablation_interrupt
+
+def bench_ablation_interrupt_cost(regen):
+    regen(run_ablation_interrupt)

@@ -1,0 +1,7 @@
+"""Ablation: the non-contiguous RMC interface of section 6's future
+work (LAPI_Putv / LAPI_Getv) vs the 1998 hybrid protocols."""
+
+from repro.bench.ablations import run_ablation_noncontig
+
+def bench_ablation_noncontiguous_rmc(regen):
+    regen(run_ablation_noncontig)

@@ -1,0 +1,11 @@
+"""Section 5.4's application results: GA-LAPI improvement over GA-MPL.
+
+Paper: "performance improvement over MPL-versions vary from 10 to 50%
+depending on the problem size, ratio of communication and calculations";
+communication-heavy 1-D-dominated codes gain most.
+"""
+
+from repro.bench import run_apps
+
+def bench_apps_improvement(regen):
+    regen(run_apps)

@@ -1,0 +1,11 @@
+"""Figure 2: one-way bandwidth, LAPI vs MPI (default & 64K eager).
+
+Paper anchors: asymptotes ~97 (LAPI) / ~98 (MPI) MB/s; half-peak at
+8 KB (LAPI) vs 23 KB (MPI); eager-to-rendezvous kink at the default
+4 KB MP_EAGER_LIMIT, removed by setting it to 65536.
+"""
+
+from repro.bench import run_fig2
+
+def bench_fig2_bandwidth(regen):
+    regen(run_fig2)

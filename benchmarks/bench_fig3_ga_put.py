@@ -1,0 +1,12 @@
+"""Figure 3: GA put transfer rate under LAPI and MPL (1-D and 2-D).
+
+Paper shape: LAPI wins for small and large requests; MPL's generous
+send buffering wins in the ~1-20 KB band; 1-D LAPI puts approach raw
+LAPI_Put bandwidth; the 2-D curve switches to per-column RMC around
+0.5 MB.
+"""
+
+from repro.bench import run_fig3
+
+def bench_fig3_ga_put(regen):
+    regen(run_fig3)

@@ -1,0 +1,10 @@
+"""Figure 4: GA get transfer rate under LAPI and MPL (1-D and 2-D).
+
+Paper shape: "LAPI outperforms MPL for all the cases"; both perform
+better for 1-D than 2-D requests.
+"""
+
+from repro.bench import run_fig4
+
+def bench_fig4_ga_get(regen):
+    regen(run_fig4)

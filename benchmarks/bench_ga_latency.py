@@ -1,0 +1,9 @@
+"""Section 5.4's GA single-element latencies.
+
+Paper: get 94.2 us (LAPI) vs 221 us (MPL); put 49.6 vs 54.6 us.
+"""
+
+from repro.bench import run_ga_latency
+
+def bench_ga_single_element_latency(regen):
+    regen(run_ga_latency)

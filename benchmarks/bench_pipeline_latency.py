@@ -1,0 +1,6 @@
+"""Section 4's pipeline latency: Put 16 us, Get 19 us (call return)."""
+
+from repro.bench import run_pipeline_latency
+
+def bench_pipeline_latency(regen):
+    regen(run_pipeline_latency)

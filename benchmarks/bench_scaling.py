@@ -1,0 +1,12 @@
+"""SUPPLEMENTAL: scaling with node count (no paper counterpart).
+
+Validates the model's internal consistency at 2-16 nodes: log-round
+barrier growth and aggregate all-to-all throughput, including the
+incast regime.
+"""
+
+from repro.bench.scaling import run_scaling
+
+
+def bench_supplemental_scaling(regen):
+    regen(run_scaling)

@@ -1,0 +1,6 @@
+"""Table 1: LAPI functionality inventory (API completeness)."""
+
+from repro.bench import run_table1
+
+def bench_table1_api_surface(regen):
+    regen(run_table1)

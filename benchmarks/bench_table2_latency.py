@@ -1,0 +1,10 @@
+"""Table 2: LAPI vs MPI/MPL latency (polling, round trips, interrupts).
+
+Paper reference (120 MHz P2SC, SP switch): LAPI 34/60/89 us, MPI/MPL
+43/86/200 us.
+"""
+
+from repro.bench import run_table2
+
+def bench_table2_latency(regen):
+    regen(run_table2)

@@ -1,0 +1,39 @@
+"""Shared plumbing for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  The experiments measure *virtual*
+time inside the simulator; pytest-benchmark wraps each regeneration to
+record its wall-clock cost (one round -- the simulated numbers are
+deterministic, so statistical repetition adds nothing).
+
+Every benchmark prints the regenerated artifact -- with pytest's
+capture suspended, so a plain ``pytest benchmarks/ --benchmark-only``
+run leaves the full paper-vs-measured record in its output -- and
+fails if a qualitative shape check fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def regen(benchmark, pytestconfig):
+    """Run one experiment under pytest-benchmark; print + verify it."""
+    capman = pytestconfig.pluginmanager.getplugin("capturemanager")
+
+    def _run(runner, *args, **kwargs):
+        result = benchmark.pedantic(runner, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        text = "\n" + result.render() + "\n"
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(text, flush=True)
+        else:  # pragma: no cover - capture always present under pytest
+            print(text, flush=True)
+        failed = [c for c in result.checks if not c.passed]
+        assert not failed, "shape checks failed: " + \
+            "; ".join(str(c) for c in failed)
+        return result
+
+    return _run

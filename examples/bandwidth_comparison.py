@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Mini Figure 2: LAPI vs MPI bandwidth at a handful of sizes.
+
+A fast version of the full ``benchmarks/bench_fig2_bandwidth.py``
+sweep, showing the three curves' character in a few seconds: LAPI's
+fast rise, default MPI's eager-to-rendezvous kink above 4 KB, and the
+MP_EAGER_LIMIT=65536 setting removing it.
+
+Run:  python examples/bandwidth_comparison.py
+"""
+
+from repro.bench.bandwidth import lapi_bandwidth_point, \
+    mpl_bandwidth_point
+
+SIZES = [256, 1024, 4096, 8192, 32768, 131072, 1048576]
+
+if __name__ == "__main__":
+    print(f"{'bytes':>9} {'LAPI':>8} {'MPI 4K':>8} {'MPI 64K':>8}"
+          "   [MB/s]")
+    for n in SIZES:
+        lapi = lapi_bandwidth_point(n)
+        mpi_d = mpl_bandwidth_point(n)
+        mpi_e = mpl_bandwidth_point(n, eager_limit=65536)
+        kink = "  <- rendezvous kink" if n == 8192 else ""
+        print(f"{n:9d} {lapi:8.1f} {mpi_d:8.1f} {mpi_e:8.1f}{kink}")
+    print("\nLAPI rises much faster (paper: half-peak at 8KB vs 23KB);"
+          "\nthe 64K eager limit removes the default curve's kink.")

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Ghost-cell arrays: halo exchange as a library feature.
+
+Runs the same Jacobi relaxation twice -- once with hand-rolled strip
+gets (how a 1998 GA application had to do it) and once with ghost-cell
+arrays (`create(ghost_width=1)` + one `update_ghosts` per sweep, the
+feature real GA later grew) -- and shows the fields agree bit-for-bit
+while the ghost version is far simpler (its extra barriers cost a
+little time -- the trade real GA users accepted for the convenience).
+
+Run:  python examples/ghost_cells.py
+"""
+
+from repro.apps import jacobi_sweeps
+from repro.machine import Cluster
+
+
+def run(use_ghosts: bool):
+    def main(task):
+        out = yield from jacobi_sweeps(task, n=48, sweeps=4,
+                                       use_ghosts=use_ghosts)
+        return out
+
+    cluster = Cluster(nnodes=4, seed=11)
+    results = cluster.run_job(main, ga_backend="lapi")
+    return results[0]["residual"], max(r["elapsed_us"]
+                                       for r in results)
+
+
+if __name__ == "__main__":
+    strip_res, strip_us = run(use_ghosts=False)
+    ghost_res, ghost_us = run(use_ghosts=True)
+    print("Jacobi on a 48x48 grid, 4 sweeps, 4 nodes")
+    print(f"  manual strip gets : residual {strip_res:.6f},"
+          f" {strip_us:,.0f} virtual us")
+    print(f"  ghost-cell arrays : residual {ghost_res:.6f},"
+          f" {ghost_us:,.0f} virtual us")
+    assert strip_res == ghost_res, "the two halo protocols diverged!"
+    print("  -> identical fields; ghost arrays replace four strip gets"
+          "\n     per sweep with one collective update_ghosts (its two"
+          "\n     barriers cost a little time; the code is far simpler)")

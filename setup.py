@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and lacks the ``wheel``
+package, so PEP 660 editable installs fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on older pips) fall back to the setuptools
+``develop`` path, which needs no wheel building.  All real metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

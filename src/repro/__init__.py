@@ -1,0 +1,65 @@
+"""Reproduction of *Performance and Experience with LAPI* (IPPS 1998).
+
+This package contains a complete, self-contained software model of the
+systems the paper describes:
+
+* :mod:`repro.sim` -- a discrete-event simulation kernel (virtual time in
+  microseconds).
+* :mod:`repro.machine` -- the IBM RS/6000 SP machine model: P2SC nodes,
+  switch adapters, and the multistage packet-switched SP switch.
+* :mod:`repro.core` -- **LAPI**, the paper's contribution: active
+  messages with decoupled header/completion handlers, Put/Get remote
+  memory copy, atomic Rmw, counters, fences, polling and interrupt modes.
+* :mod:`repro.mpl` -- the MPI/MPL message-passing baseline (eager and
+  rendezvous protocols, ``rcvncall`` interrupt receive).
+* :mod:`repro.ga` -- the Global Arrays toolkit implemented on both LAPI
+  and MPL backends with the paper's hybrid protocols.
+* :mod:`repro.apps` -- application kernels (SCF, MD, matrix multiply)
+  exercising GA the way the paper's chemistry codes do.
+* :mod:`repro.bench` -- harnesses regenerating every table and figure of
+  the paper's evaluation.
+
+Quick start::
+
+    from repro.machine import Cluster
+    from repro.machine.config import SP_1998
+
+    def hello(task):
+        if task.rank == 0:
+            yield from task.lapi.put(1, b"hi world", tgt_addr)
+        ...
+
+    cluster = Cluster(nnodes=2, config=SP_1998)
+    cluster.run_job(hello)
+
+See ``examples/quickstart.py`` for a complete runnable program.
+"""
+
+from .errors import (
+    AllocationError,
+    DeadlockError,
+    GaError,
+    LapiError,
+    MachineError,
+    MemoryFault,
+    MplError,
+    NetworkError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "DeadlockError",
+    "GaError",
+    "LapiError",
+    "MachineError",
+    "MemoryFault",
+    "MplError",
+    "NetworkError",
+    "ReproError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Application kernels exercising Global Arrays.
+
+Synthetic stand-ins for the paper's section 5.4 workloads (SCF, DFT,
+MP-2 electronic-structure codes and molecular dynamics): each kernel
+uses the GA call mix of its real counterpart -- dynamic load balancing
+through ``read_inc``, strided gets, atomic accumulates -- and runs
+unchanged on either GA backend, which is what makes the LAPI-vs-MPL
+application comparison possible.
+"""
+
+from .jacobi import jacobi_sweeps
+from .matmul import ga_matmul
+from .md import md_step_loop
+from .scf import scf_iteration
+from .transpose import ga_transpose
+
+__all__ = ["ga_matmul", "jacobi_sweeps", "md_step_loop",
+           "scf_iteration", "ga_transpose"]

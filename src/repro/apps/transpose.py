@@ -1,0 +1,39 @@
+"""Global array transpose (B = A^T).
+
+A pure-communication kernel: every task reads the transpose-image of
+its own block with a single strided ``GA_Get`` and stores it locally.
+Because get dominates entirely, this kernel shows the largest LAPI/MPL
+spread of all the app kernels -- the paper's observation that
+"the most performance improvement can be obtained in codes that mostly
+rely on ... communication" patterns that avoid AM copies.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+__all__ = ["ga_transpose"]
+
+
+def ga_transpose(task, a_h: int, b_h: int) -> Generator:
+    """Transpose global array ``A`` into ``B``; returns elapsed us."""
+    ga = task.ga
+    cfg = task.node.config
+    thread = task.thread
+    a = ga.array(a_h)
+    b = ga.array(b_h)
+    if (a.dims[1], a.dims[0]) != b.dims:
+        raise ValueError(f"B{b.dims} is not the transpose shape of"
+                         f" A{a.dims}")
+    t0 = task.now()
+    mine = ga.distribution(b_h)
+    # The source patch is my block's mirror image.
+    src = (mine.jlo, mine.jhi, mine.ilo, mine.ihi)
+    patch = yield from ga.get_ndarray(a_h, src)
+    view = ga.access(b_h)
+    yield from thread.execute(cfg.copy_cost(patch.nbytes))
+    view[...] = patch.T
+    yield from ga.sync()
+    return task.now() - t0

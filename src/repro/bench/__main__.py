@@ -1,0 +1,41 @@
+"""Run the full evaluation: ``python -m repro.bench [experiment ...]``.
+
+With no arguments every table and figure regenerates in paper order;
+otherwise only the named experiments run (``table2``, ``fig3``, ...).
+Exit status is non-zero if any shape check fails.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from"
+              f" {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    failed = 0
+    for name in names:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name]()
+        wall = time.perf_counter() - start
+        print(result.render())
+        print(f"(regenerated in {wall:.1f}s wall time)")
+        print()
+        if not result.all_passed:
+            failed += 1
+    if failed:
+        print(f"{failed} experiment(s) had failing shape checks")
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

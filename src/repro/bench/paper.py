@@ -1,0 +1,59 @@
+"""Reference numbers from the paper, for side-by-side reporting.
+
+Each experiment harness prints its measured values next to these and
+evaluates *shape checks* -- the qualitative claims that must hold even
+though the substrate is a simulator (see DESIGN.md's pass/fail
+criteria).
+"""
+
+from __future__ import annotations
+
+__all__ = ["TABLE2", "PIPELINE", "FIG2", "GA_LATENCY", "APPS",
+           "TABLE1_FUNCTIONS"]
+
+#: Table 2 -- latency in microseconds, 4-byte messages.
+TABLE2 = {
+    ("lapi", "polling"): 34.0,
+    ("lapi", "polling_round_trip"): 60.0,
+    ("lapi", "interrupt_round_trip"): 89.0,
+    ("mpl", "polling"): 43.0,
+    ("mpl", "polling_round_trip"): 86.0,
+    ("mpl", "interrupt_round_trip"): 200.0,
+}
+
+#: Section 4 -- pipeline latency (non-blocking call return time), us.
+PIPELINE = {"put": 16.0, "get": 19.0}
+
+#: Figure 2 -- qualitative anchors of the bandwidth comparison.
+FIG2 = {
+    "lapi_asymptote_mbs": 97.0,
+    "mpi_asymptote_mbs": 98.0,
+    "lapi_half_peak_bytes": 8 * 1024,
+    "mpi_half_peak_bytes": 23 * 1024,
+    "eager_default": 4096,
+    "eager_max": 65536,
+}
+
+#: Section 5.4 -- GA single-element (8-byte) latency, us.
+GA_LATENCY = {
+    ("get", "lapi"): 94.2,
+    ("get", "mpl"): 221.0,
+    ("put", "lapi"): 49.6,
+    ("put", "mpl"): 54.6,
+}
+
+#: Section 5.4 -- application improvement of GA-LAPI over GA-MPL, %.
+APPS = {"min_improvement_pct": 10.0, "max_improvement_pct": 50.0}
+
+#: Table 1 -- the LAPI function set, by operation group.
+TABLE1_FUNCTIONS = {
+    "Setup": ["LAPI_Init", "LAPI_Term"],
+    "Active Message": ["LAPI_Amsend"],
+    "Data Transfer": ["LAPI_Put", "LAPI_Get"],
+    "Mutual Exclusion": ["LAPI_Rmw"],
+    "Signaling Communication Progress": [
+        "LAPI_Setcntr", "LAPI_Waitcntr", "LAPI_Getcntr"],
+    "Ordering": ["LAPI_Fence", "LAPI_Gfence"],
+    "Address Exchange": ["LAPI_Address_init"],
+    "Environment Query/Setup": ["LAPI_Qenv", "LAPI_Senv"],
+}

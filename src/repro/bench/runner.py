@@ -1,0 +1,48 @@
+"""Shared plumbing for benchmark experiments.
+
+Experiments are SPMD jobs on fresh clusters measured in *virtual* time;
+these helpers standardize cluster construction, repetition/averaging,
+and unit conversions (bytes/us == MB/s).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..machine import Cluster
+from ..machine.config import SP_1998, MachineConfig
+
+__all__ = ["fresh_cluster", "mean", "reps_for_size", "SIZE_SWEEP",
+           "bandwidth_mbs"]
+
+#: Message-size sweep of Figure 2 (16 bytes to 2 MB).
+SIZE_SWEEP = [16, 64, 256, 1024, 4096, 8192, 16384, 32768, 65536,
+              131072, 262144, 524288, 1048576, 2097152]
+
+
+def fresh_cluster(nnodes: int = 2, config: MachineConfig = SP_1998,
+                  seed: int = 0xBE1) -> Cluster:
+    """A new cluster per measurement: no cross-experiment state."""
+    return Cluster(nnodes=nnodes, config=config, seed=seed)
+
+
+def mean(values: Sequence[float], *, skip_warmup: int = 1) -> float:
+    """Average, discarding warm-up iterations when there are enough."""
+    vals = list(values)
+    if len(vals) > skip_warmup + 1:
+        vals = vals[skip_warmup:]
+    return sum(vals) / len(vals)
+
+
+def reps_for_size(nbytes: int, *, budget_bytes: int = 1 << 20,
+                  lo: int = 3, hi: int = 24) -> int:
+    """Series length decreasing with request size (as in section 5.4)."""
+    reps = budget_bytes // max(nbytes, 1)
+    return max(lo, min(hi, reps))
+
+
+def bandwidth_mbs(nbytes: int, elapsed_us: float) -> float:
+    """Bytes over microseconds is numerically MB/s."""
+    if elapsed_us <= 0:
+        return float("inf")
+    return nbytes / elapsed_us

@@ -1,0 +1,27 @@
+"""LAPI -- the paper's primary contribution.
+
+A faithful model of the Low-level Applications Programming Interface of
+the IBM RS/6000 SP (PSSP 2.3): one-sided Put/Get, active messages with
+decoupled header/completion handlers, atomic Rmw, three-counter
+completion signalling, fences, and interrupt/polling progress modes --
+all running on the simulated SP machine of :mod:`repro.machine`.
+
+Public surface: :class:`Lapi` (the per-task handle), :class:`LapiCounter`,
+the :class:`RmwOp`/:class:`QenvKey`/:class:`SenvKey` enums, and the
+reusable :class:`ReliableTransport`.
+"""
+
+from .api import Lapi
+from .constants import PacketKind, QenvKey, RmwOp, SenvKey
+from .counters import LapiCounter
+from .reliability import ReliableTransport
+
+__all__ = [
+    "Lapi",
+    "LapiCounter",
+    "PacketKind",
+    "QenvKey",
+    "ReliableTransport",
+    "RmwOp",
+    "SenvKey",
+]

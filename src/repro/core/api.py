@@ -1,0 +1,372 @@
+"""The public LAPI interface.
+
+One :class:`Lapi` object per task implements the full function set of
+the paper's Table 1:
+
+=======================  =====================================
+Paper function           Method here
+=======================  =====================================
+LAPI_Init / LAPI_Term    :meth:`Lapi.init` / :meth:`Lapi.term`
+LAPI_Amsend              :meth:`Lapi.amsend`
+LAPI_Put / LAPI_Get      :meth:`Lapi.put` / :meth:`Lapi.get`
+LAPI_Rmw                 :meth:`Lapi.rmw` (+ :meth:`Lapi.rmw_sync`)
+LAPI_Setcntr             :meth:`Lapi.setcntr`
+LAPI_Waitcntr            :meth:`Lapi.waitcntr`
+LAPI_Getcntr             :meth:`Lapi.getcntr`
+LAPI_Fence / LAPI_Gfence :meth:`Lapi.fence` / :meth:`Lapi.gfence`
+LAPI_Address_init        :meth:`Lapi.address_init`
+LAPI_Qenv / LAPI_Senv    :meth:`Lapi.qenv` / :meth:`Lapi.senv`
+LAPI_Probe               :meth:`Lapi.probe`
+=======================  =====================================
+
+All communication methods are generator coroutines: call them with
+``yield from`` on a node CPU thread.  Data-transfer calls are
+non-blocking (they return once the operation is queued -- the paper's
+"unordered pipelining"); completion is observed through counters.
+Blocking convenience wrappers (``put_sync`` etc.) pair each call with
+an immediate Waitcntr, exactly the "simple extension" section 3 notes.
+"""
+
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Any, Callable, Generator, Optional,
+                    Union)
+
+from ..errors import LapiError
+from ..machine.cpu import INTERRUPT
+from .amsend import do_amsend
+from .constants import QenvKey, RmwOp, SenvKey
+from .context import LapiContext, RmwPending
+from .counters import LapiCounter
+from .dispatcher import Dispatcher
+from .env import do_qenv, do_senv
+from .fence import do_fence, do_gfence
+from .protocol import PROTO
+from .putget import do_get, do_put
+from .reliability import ReliableTransport
+from .rmw import do_rmw
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.cluster import Task
+    from ..machine.cpu import Thread
+
+__all__ = ["Lapi"]
+
+
+class Lapi:
+    """LAPI communication handle of one task.
+
+    Constructed by :meth:`repro.machine.cluster.Cluster.run_job`; user
+    code reaches it as ``task.lapi``.
+    """
+
+    def __init__(self, task: "Task", interrupt_mode: bool = True) -> None:
+        self.task = task
+        self.config = task.node.config
+        self.ctx = LapiContext(task.cluster.sim, task.rank, task.size)
+        self.interrupt_mode = interrupt_mode
+        self.client = None
+        self.transport: Optional[ReliableTransport] = None
+        self.dispatcher: Optional[Dispatcher] = None
+        self._initialized = False
+        self._terminated = False
+
+    # convenient shorthands ------------------------------------------------
+    @property
+    def memory(self):
+        return self.task.node.memory
+
+    @property
+    def sim(self):
+        return self.task.cluster.sim
+
+    @property
+    def rank(self) -> int:
+        return self.ctx.rank
+
+    @property
+    def size(self) -> int:
+        return self.ctx.size
+
+    @property
+    def stats(self):
+        return self.ctx.stats
+
+    def current_thread(self) -> "Thread":
+        """The CPU thread executing the current call."""
+        return self.task.node.cpu.current_thread()
+
+    def _check_live(self) -> None:
+        if not self._initialized:
+            raise LapiError("LAPI used before LAPI_Init")
+        if self._terminated:
+            raise LapiError("LAPI used after LAPI_Term")
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def init(self) -> Generator:
+        """LAPI_Init: attach to the adapter and start progress engines."""
+        if self._initialized:
+            raise LapiError("LAPI_Init called twice")
+        thread = self.current_thread()
+        yield from thread.execute(self.config.lapi_call_overhead)
+        adapter = self.task.node.adapter
+        self.client = adapter.attach_client(PROTO)
+        self.transport = ReliableTransport(
+            self.sim, adapter, PROTO,
+            window=self.config.lapi_window,
+            timeout=self.config.lapi_retrans_timeout)
+        self.dispatcher = Dispatcher(self)
+        self.transport.wait_credit = self._wait_credit
+        self.transport.on_progress = self.ctx.progress_ws.notify_all
+        self.client.delivery_filter = self._ack_fast_path
+        self.client.on_arrival = self._spawn_interrupt_dispatcher
+        self.client.interrupts_enabled = self.interrupt_mode
+        self._initialized = True
+
+    def _wait_credit(self, thread, event) -> Generator:
+        """Block on a send-window credit, driving progress if polling."""
+        if self.interrupt_mode:
+            yield from thread.wait(event)
+        else:
+            while not event.triggered:
+                yield from self.dispatcher.poll_step(thread)
+
+    def _ack_fast_path(self, packet) -> bool:
+        """Adapter-level handling of transport acknowledgements.
+
+        Window bookkeeping is adapter-assisted: ACKs neither occupy the
+        RX FIFO nor raise interrupts, so pure ack traffic never
+        perturbs dispatcher scheduling (and cannot mask data-packet
+        interrupts).
+        """
+        from .constants import PacketKind
+        if packet.kind == PacketKind.ACK:
+            self.transport.on_ack(packet)
+            return True
+        return False
+
+    def term(self) -> Generator:
+        """LAPI_Term: quiesce (collective) and detach."""
+        self._check_live()
+        yield from self.gfence()
+        yield from self.wait_for(lambda: self.ctx.active_handlers == 0)
+        # All peers have passed the gfence: nothing further will arrive.
+        self._terminated = True
+        self.client.interrupts_enabled = False
+
+    def _spawn_interrupt_dispatcher(self) -> None:
+        """Adapter arrival hook: run the dispatcher at interrupt priority."""
+        self.task.node.cpu.spawn(
+            self.dispatcher.interrupt_service,
+            name=f"lapi{self.rank}.irq", priority=INTERRUPT)
+
+    def set_interrupt_mode(self, enabled: bool) -> None:
+        """Switch between interrupt (True) and polling (False) modes."""
+        self.interrupt_mode = enabled
+        if self.client is not None:
+            self.client.interrupts_enabled = enabled
+            if enabled:
+                self.client.arm_interrupt()
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def counter(self, name: str = "") -> LapiCounter:
+        """Create a completion counter (registered for remote updates).
+
+        Counters are identified across tasks by creation order, so SPMD
+        code that creates them symmetrically can pass ``cntr.id`` as a
+        ``tgt_cntr`` argument.
+        """
+        return self.ctx.new_counter(name=name)
+
+    def setcntr(self, cntr: LapiCounter, value: int) -> None:
+        """LAPI_Setcntr."""
+        cntr.set(value)
+
+    def getcntr(self, cntr: LapiCounter) -> Generator:
+        """LAPI_Getcntr: read a counter; drives progress when polling."""
+        self._check_live()
+        thread = self.current_thread()
+        yield from thread.execute(self.config.lapi_call_overhead * 0.5)
+        if not self.interrupt_mode and self.client.pending > 0:
+            yield from self.dispatcher.drain(thread)
+        return cntr.value
+
+    def waitcntr(self, cntr: LapiCounter, value: int = 1) -> Generator:
+        """LAPI_Waitcntr: block until ``cntr`` reaches ``value``; the
+        counter is decremented by ``value`` on return (section 2.3)."""
+        self._check_live()
+        thread = self.current_thread()
+        yield from thread.execute(self.config.lapi_call_overhead * 0.5)
+        if self.interrupt_mode:
+            ev = cntr.wait_event(value)
+            if not ev.triggered:
+                yield from thread.wait(ev)
+        else:
+            while not cntr.try_consume(value):
+                yield from self.dispatcher.poll_step(thread)
+
+    def probe(self) -> Generator:
+        """LAPI_Probe: explicitly drive progress (polling mode)."""
+        self._check_live()
+        thread = self.current_thread()
+        yield from thread.execute(self.config.poll_check_cost)
+        if self.client.pending > 0:
+            yield from self.dispatcher.drain(thread)
+
+    def wait_for(self, predicate: Callable[[], bool]) -> Generator:
+        """Block until ``predicate()`` holds, driving progress as the
+        current mode requires.  Internal building block for fence,
+        rmw_sync, and the GA layer."""
+        thread = self.current_thread()
+        while not predicate():
+            if self.interrupt_mode:
+                yield from thread.wait(self.ctx.progress_ws.wait())
+            else:
+                yield from self.dispatcher.poll_step(thread)
+
+    # ------------------------------------------------------------------
+    # data transfer
+    # ------------------------------------------------------------------
+    def put(self, target: int, length: int, tgt_addr: int, org_addr: int,
+            tgt_cntr: Optional[int] = None,
+            org_cntr: Optional[LapiCounter] = None,
+            cmpl_cntr: Optional[LapiCounter] = None) -> Generator:
+        """LAPI_Put (non-blocking remote write).  ``tgt_cntr`` is the
+        *target task's* counter id; ``org_cntr``/``cmpl_cntr`` are local
+        counter objects."""
+        self._check_live()
+        yield from do_put(self, target, length, tgt_addr, org_addr,
+                          tgt_cntr, org_cntr, cmpl_cntr)
+
+    def get(self, target: int, length: int, tgt_addr: int, org_addr: int,
+            tgt_cntr: Optional[int] = None,
+            org_cntr: Optional[LapiCounter] = None) -> Generator:
+        """LAPI_Get (non-blocking remote read into ``org_addr``)."""
+        self._check_live()
+        yield from do_get(self, target, length, tgt_addr, org_addr,
+                          tgt_cntr, org_cntr)
+
+    def amsend(self, target: int, handler_id: int, uhdr: bytes,
+               udata: Union[int, bytes, None] = None, udata_len: int = 0,
+               tgt_cntr: Optional[int] = None,
+               org_cntr: Optional[LapiCounter] = None,
+               cmpl_cntr: Optional[LapiCounter] = None) -> Generator:
+        """LAPI_Amsend (non-blocking active message)."""
+        self._check_live()
+        yield from do_amsend(self, target, handler_id, uhdr, udata,
+                             udata_len, tgt_cntr, org_cntr, cmpl_cntr)
+
+    def putv(self, target: int, runs, tgt_cntr: Optional[int] = None,
+             org_cntr: Optional[LapiCounter] = None,
+             cmpl_cntr: Optional[LapiCounter] = None) -> Generator:
+        """LAPI_Putv -- the non-contiguous put of section 6's future
+        work: one call scatters ``(tgt_addr, org_addr, nbytes)`` runs."""
+        self._check_live()
+        from .vector import do_putv
+        yield from do_putv(self, target, runs, tgt_cntr, org_cntr,
+                           cmpl_cntr)
+
+    def getv(self, target: int, runs,
+             org_cntr: Optional[LapiCounter] = None) -> Generator:
+        """LAPI_Getv -- the non-contiguous get of section 6's future
+        work: one call gathers ``(tgt_addr, org_addr, nbytes)`` runs."""
+        self._check_live()
+        from .vector import do_getv
+        yield from do_getv(self, target, runs, org_cntr)
+
+    def rmw(self, op: RmwOp, target: int, tgt_addr: int, in_val: int,
+            cmp_val: Optional[int] = None,
+            prev_addr: Optional[int] = None,
+            org_cntr: Optional[LapiCounter] = None) -> Generator:
+        """LAPI_Rmw (non-blocking atomic op); returns a pending handle."""
+        self._check_live()
+        pending = yield from do_rmw(self, op, target, tgt_addr, in_val,
+                                    cmp_val, prev_addr, org_cntr)
+        return pending
+
+    # ------------------------------------------------------------------
+    # blocking conveniences ("a simple extension", section 3)
+    # ------------------------------------------------------------------
+    def put_sync(self, target: int, length: int, tgt_addr: int,
+                 org_addr: int, tgt_cntr: Optional[int] = None) -> Generator:
+        """Put and wait until the data has completed at the target."""
+        cmpl = self.counter()
+        yield from self.put(target, length, tgt_addr, org_addr,
+                            tgt_cntr=tgt_cntr, cmpl_cntr=cmpl)
+        yield from self.waitcntr(cmpl, 1)
+
+    def get_sync(self, target: int, length: int, tgt_addr: int,
+                 org_addr: int) -> Generator:
+        """Get and wait until the data has arrived locally."""
+        org = self.counter()
+        yield from self.get(target, length, tgt_addr, org_addr,
+                            org_cntr=org)
+        yield from self.waitcntr(org, 1)
+
+    def rmw_sync(self, op: RmwOp, target: int, tgt_addr: int, in_val: int,
+                 cmp_val: Optional[int] = None) -> Generator:
+        """Rmw and wait; returns the previous value of the target word."""
+        pending: RmwPending = yield from self.rmw(
+            op, target, tgt_addr, in_val, cmp_val=cmp_val)
+        yield from self.wait_for(lambda: pending.done)
+        return pending.prev_value
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+    def fence(self, target: Optional[int] = None) -> Generator:
+        """LAPI_Fence: wait for this task's data transfers to complete."""
+        self._check_live()
+        yield from do_fence(self, target)
+
+    def gfence(self) -> Generator:
+        """LAPI_Gfence: collective fence + barrier."""
+        self._check_live()
+        yield from do_gfence(self)
+
+    barrier = gfence
+
+    # ------------------------------------------------------------------
+    # addresses, handlers, environment
+    # ------------------------------------------------------------------
+    def register_handler(self, fn: Callable) -> int:
+        """Register an AM header handler; returns its id.
+
+        SPMD programs registering handlers in the same order on every
+        task obtain matching ids (the analogue of identical function
+        addresses in identically linked executables).
+        """
+        self.ctx.handlers.append(fn)
+        return len(self.ctx.handlers) - 1
+
+    def address_init(self, value: Any) -> Generator:
+        """LAPI_Address_init: collective exchange of one value per task.
+
+        Returns the list indexed by rank.  The exchange itself rides the
+        service network (out of band), as address setup did on real SP
+        systems; the trailing gfence synchronizes through the switch.
+        """
+        self._check_live()
+        thread = self.current_thread()
+        yield from thread.execute(self.config.lapi_call_overhead)
+        key = f"lapi.addr.{self.ctx.barrier_epoch}.{id(self.task.cluster)}"
+        table = self.task.cluster.oob_allgather(key, self.rank, value,
+                                                self.size)
+        yield from self.gfence()
+        return [table[r] for r in range(self.size)]
+
+    def qenv(self, key: QenvKey) -> int:
+        """LAPI_Qenv."""
+        return do_qenv(self, key)
+
+    def senv(self, key: SenvKey, value: int) -> None:
+        """LAPI_Senv."""
+        do_senv(self, key, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "interrupt" if self.interrupt_mode else "polling"
+        return f"<Lapi rank={self.rank}/{self.size} {mode}>"

@@ -1,0 +1,532 @@
+"""The LAPI dispatcher: target-side protocol engine.
+
+Section 2.1 describes the dispatcher as "a part of the LAPI layer that
+deals with the arrival of messages and invocation of handlers".  This
+module implements it:
+
+* packets are pulled from the adapter client's RX FIFO and processed
+  under the context's dispatch lock, which enforces the paper's rule
+  that **at most one header handler executes at a time** per context;
+* completion handlers run on their own HANDLER-priority threads and may
+  execute concurrently (the paper permits multiple completion handlers;
+  synchronization between them is the user's job);
+* arriving data is copied straight into the address the header handler
+  (or the self-describing put header) names -- no intermediate
+  buffering beyond the stash for packets that outrace their message's
+  first packet;
+* the dispatcher itself never blocks on flow control: everything it
+  emits (ACKs, completions, RMW replies) rides the control path, and
+  get requests are serviced by spawned threads.
+
+The dispatcher runs in two modes matching the paper's progress model:
+interrupt mode spawns an INTERRUPT-priority thread per arrival burst;
+polling mode runs the same code inline from LAPI calls
+(:meth:`Dispatcher.poll_step`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..errors import LapiError
+from ..machine.cpu import HANDLER
+from .constants import PacketKind
+from .context import RecvAssembly
+from .protocol import control_packet, get_reply_packets
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.cpu import Thread
+    from ..machine.packet import Packet
+    from .api import Lapi
+
+__all__ = ["Dispatcher"]
+
+#: Mask to 64 bits, matching the hardware word LAPI_Rmw operates on.
+_U64 = (1 << 64) - 1
+
+
+def _to_signed(v: int) -> int:
+    v &= _U64
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+def linger_loop(dispatcher, thread) -> "Generator":
+    """Shared interrupt-coalescing tail for protocol dispatchers.
+
+    Waits (off-CPU) up to ``interrupt_linger`` for further arrivals;
+    each one is processed at the amortized rate and resets the timer.
+    Returns once the line has gone quiet.
+    """
+    sim = thread.sim
+    client = dispatcher.lapi.client if hasattr(dispatcher, "lapi") \
+        else dispatcher.mpl.client
+    linger = dispatcher.config.interrupt_linger
+    if linger <= 0:
+        return
+    while True:
+        getter = client.rx.get()
+        if not getter.triggered:
+            timeout = sim.timeout(linger)
+            yield from thread.wait(sim.any_of([getter, timeout]))
+            if not getter.triggered:
+                client.rx.cancel_get(getter)
+                return
+        yield from dispatcher.process(thread, getter.value,
+                                      amortized=True)
+        yield from dispatcher.drain(thread)
+        dispatcher.ctx.progress_ws.notify_all()
+
+
+class Dispatcher:
+    """Receive-side engine of one LAPI context."""
+
+    def __init__(self, lapi: "Lapi") -> None:
+        self.lapi = lapi
+        self.ctx = lapi.ctx
+        self.config = lapi.config
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def drain(self, thread: "Thread") -> Generator:
+        """Process every packet currently queued; returns the count."""
+        processed = 0
+        while True:
+            ok, pkt = self.lapi.client.rx.try_get()
+            if not ok:
+                break
+            yield from self.process(thread, pkt, amortized=processed > 0)
+            processed += 1
+        if processed:
+            self.ctx.progress_ws.notify_all()
+        return processed
+
+    def poll_step(self, thread: "Thread") -> Generator:
+        """One polling-mode progress step (section 2.1's polling mode).
+
+        Charges the doorbell check; drains pending packets if any,
+        otherwise blocks the calling thread until the next arrival and
+        processes it.  Used by Waitcntr/fence loops in polling mode, so
+        a polling task makes progress exactly while it sits in LAPI
+        calls -- and a task that never calls LAPI makes none (the
+        documented deadlock hazard of polling mode).
+        """
+        yield from thread.execute(self.config.poll_check_cost)
+        if self.lapi.client.pending > 0:
+            yield from self.drain(thread)
+            return
+        # Wake on the next packet OR on any progress signal -- window
+        # acknowledgements are consumed at the adapter level, so a
+        # poller must not insist on seeing a packet.
+        sim = thread.sim
+        getter = self.lapi.client.rx.get()
+        progress = self.ctx.progress_ws.wait()
+        yield from thread.wait(sim.any_of([getter, progress]))
+        if getter.triggered:
+            yield from self.process(thread, getter.value)
+            # Opportunistically absorb the rest of the burst.
+            yield from self.drain(thread)
+            self.ctx.progress_ws.notify_all()
+        else:
+            self.lapi.client.rx.cancel_get(getter)
+
+    def interrupt_service(self, thread: "Thread") -> Generator:
+        """Body of the interrupt-mode dispatcher thread.
+
+        One hardware interrupt services a whole packet burst: after
+        draining, the thread lingers briefly (releasing the CPU) and
+        absorbs closely-following packets at the amortized rate -- the
+        interrupt coalescing that keeps bulk streams from paying the
+        full interrupt cost per packet.
+        """
+        self.ctx.stats.interrupts_taken += 1
+        yield from thread.execute(self.config.interrupt_latency)
+        yield from self.drain(thread)
+        yield from linger_loop(self, thread)
+        # Re-arm before exiting; arrivals from now on re-fire.
+        self.lapi.client.arm_interrupt()
+
+    # ------------------------------------------------------------------
+    # per-packet processing
+    # ------------------------------------------------------------------
+    def process(self, thread: "Thread", pkt: "Packet",
+                amortized: bool = False) -> Generator:
+        """Handle one packet under the dispatch lock.
+
+        ``amortized`` marks packets after the first of a dispatch
+        batch: the wake-up/demux overhead is shared, so they pay the
+        cheaper bulk rate.
+        """
+        ev = self.ctx.dispatch_lock.acquire(owner=thread)
+        if not ev.triggered:
+            yield from thread.wait(ev)
+        try:
+            yield from self._process_locked(thread, pkt, amortized)
+        finally:
+            self.ctx.dispatch_lock.release()
+
+    def _process_locked(self, thread: "Thread", pkt: "Packet",
+                        amortized: bool = False) -> Generator:
+        cfg = self.config
+        ctx = self.ctx
+        ctx.stats.packets_processed += 1
+        trace = self.lapi.task.cluster.trace
+        if trace is not None:
+            trace.log(thread.sim.now, f"lapi{ctx.rank}", "lapi",
+                      f"dispatch {pkt!r}")
+        if pkt.kind == PacketKind.ACK:
+            # Lightweight: adjust transport state, run ack hooks.
+            yield from thread.execute(0.3)
+            self.lapi.transport.on_ack(pkt)
+            return
+        yield from thread.execute(cfg.lapi_pkt_recv_amortized if amortized
+                                  else cfg.lapi_pkt_recv_cost)
+        if not self.lapi.transport.on_packet(pkt):
+            return  # duplicate delivery (retransmission overlap)
+        kind = pkt.kind
+        if kind == PacketKind.DATA:
+            yield from self._data(thread, pkt)
+        elif kind == PacketKind.GET_REQ:
+            self._get_request(pkt)
+        elif kind == "getv_req":
+            self._getv_request(pkt)
+        elif kind == PacketKind.CMPL:
+            yield from thread.execute(cfg.lapi_counter_update)
+            ctx.counter_by_id(pkt.info["cntr_id"]).add(1)
+        elif kind == PacketKind.RMW_REQ:
+            yield from self._rmw_request(thread, pkt)
+        elif kind == PacketKind.RMW_REP:
+            yield from self._rmw_reply(thread, pkt)
+        elif kind == PacketKind.BARRIER:
+            ctx.barrier_tokens.add((pkt.info["epoch"], pkt.info["round"]))
+            ctx.progress_ws.notify_all()
+        else:
+            raise LapiError(f"dispatcher: unknown packet kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # DATA packets: put / am / get replies
+    # ------------------------------------------------------------------
+    def _data(self, thread: "Thread", pkt: "Packet") -> Generator:
+        mtype = pkt.info["mtype"]
+        if mtype == PacketKind.MSG_PUT:
+            yield from self._put_data(thread, pkt)
+        elif mtype == PacketKind.MSG_AM:
+            yield from self._am_data(thread, pkt)
+        elif mtype == PacketKind.MSG_GET_REP:
+            yield from self._get_reply_data(thread, pkt)
+        elif mtype == "putv":
+            yield from self._putv_data(thread, pkt)
+        elif mtype == "getv_rep":
+            yield from self._getv_reply_data(thread, pkt)
+        else:
+            raise LapiError(f"dispatcher: unknown data mtype {mtype!r}")
+
+    def _assembly(self, pkt: "Packet") -> RecvAssembly:
+        key = (pkt.src, pkt.info["msg_id"])
+        asm = self.ctx.recv_asm.get(key)
+        if asm is None:
+            asm = RecvAssembly(pkt.src, pkt.info["msg_id"],
+                               pkt.info["mtype"], pkt.info["total"])
+            self.ctx.recv_asm[key] = asm
+        return asm
+
+    def _put_data(self, thread: "Thread", pkt: "Packet") -> Generator:
+        """A put packet is fully self-describing: place it directly."""
+        cfg = self.config
+        asm = self._assembly(pkt)
+        if not asm.hdr_seen:
+            asm.hdr_seen = True  # every put packet carries the header
+            asm.buf_addr = pkt.info["tgt_addr"]
+            asm.tgt_cntr_id = pkt.info["tgt_cntr_id"]
+            asm.cmpl_cntr_id = pkt.info["cmpl_cntr_id"]
+        payload = pkt.payload
+        if payload:
+            yield from thread.execute(cfg.copy_cost(len(payload)))
+            self.lapi.memory.write(asm.buf_addr + pkt.info["offset"],
+                                   payload)
+            asm.received += len(payload)
+            self.ctx.stats.bytes_received += len(payload)
+        if asm.complete:
+            del self.ctx.recv_asm[(asm.src, asm.msg_id)]
+            yield from self._message_complete(thread, asm)
+
+    def _am_data(self, thread: "Thread", pkt: "Packet") -> Generator:
+        cfg = self.config
+        ctx = self.ctx
+        asm = self._assembly(pkt)
+        if pkt.info.get("is_first"):
+            if asm.hdr_seen:
+                raise LapiError("duplicate first packet escaped dedup")
+            asm.hdr_seen = True
+            asm.tgt_cntr_id = pkt.info["tgt_cntr_id"]
+            asm.cmpl_cntr_id = pkt.info["cmpl_cntr_id"]
+            # --- the header handler (one at a time per context) -------
+            yield from thread.execute(cfg.lapi_hdr_handler_cost)
+            ctx.stats.hdr_handlers_run += 1
+            handler = ctx.handler_by_id(pkt.info["handler_id"])
+            reply = handler(self.lapi.task, pkt.src, pkt.info["uhdr"],
+                            asm.total_len)
+            buf_addr, cmpl_fn, user_info = self._check_hh_reply(
+                reply, asm.total_len)
+            asm.buf_addr = buf_addr
+            asm.cmpl_fn = cmpl_fn
+            asm.user_info = user_info
+            # Flush any data that outraced the first packet out of the
+            # stash (second copy -- the price of early arrival).
+            for offset, payload in asm.stash:
+                yield from thread.execute(cfg.copy_cost(len(payload)))
+                self.lapi.memory.write(asm.buf_addr + offset, payload)
+                asm.received += len(payload)
+                ctx.stats.bytes_received += len(payload)
+            asm.stash.clear()
+
+        payload = pkt.payload
+        if payload:
+            yield from thread.execute(cfg.copy_cost(len(payload)))
+            if asm.hdr_seen:
+                self.lapi.memory.write(asm.buf_addr + pkt.info["offset"],
+                                       payload)
+                asm.received += len(payload)
+                ctx.stats.bytes_received += len(payload)
+            else:
+                # Outran the first packet: hold in LAPI-internal buffers
+                # (the copy above is the stash copy).
+                asm.stash.append((pkt.info["offset"], payload))
+        if asm.complete:
+            del ctx.recv_asm[(asm.src, asm.msg_id)]
+            yield from self._message_complete(thread, asm)
+
+    @staticmethod
+    def _check_hh_reply(reply, total_len: int):
+        if not (isinstance(reply, tuple) and len(reply) == 3):
+            raise LapiError(
+                "header handler must return (buf_addr, completion_handler,"
+                f" user_info); got {reply!r}")
+        buf_addr, cmpl_fn, user_info = reply
+        if total_len > 0 and buf_addr is None:
+            # Section 5.3.1: the header handler cannot block or return a
+            # NULL pointer when the message carries data.
+            raise LapiError(
+                "header handler returned no buffer for a message carrying"
+                f" {total_len} bytes of user data")
+        return buf_addr, cmpl_fn, user_info
+
+    def _message_complete(self, thread: "Thread",
+                          asm: RecvAssembly) -> Generator:
+        """All bytes of a put/am message are in place at the target."""
+        cfg = self.config
+        if asm.cmpl_fn is not None:
+            # Completion handlers run concurrently on their own threads.
+            yield from thread.execute(cfg.lapi_cmpl_handler_cost)
+            self.ctx.active_handlers += 1
+            lapi = self.lapi
+
+            def body(hthread, a=asm):
+                try:
+                    result = a.cmpl_fn(lapi.task, a.user_info)
+                    if result is not None and hasattr(result, "send"):
+                        yield from result
+                    else:
+                        yield from hthread.execute(0.0)
+                finally:
+                    lapi.ctx.active_handlers -= 1
+                lapi.ctx.stats.cmpl_handlers_run += 1
+                yield from self._signal_completion(hthread, a)
+                lapi.ctx.progress_ws.notify_all()
+
+            thread.cpu.spawn(body, name=f"lapi{self.ctx.rank}.cmpl",
+                             priority=HANDLER)
+        else:
+            yield from self._signal_completion(thread, asm)
+
+    def _signal_completion(self, thread: "Thread",
+                           asm: RecvAssembly) -> Generator:
+        """Update the target counter; notify the origin's cmpl counter."""
+        cfg = self.config
+        if asm.tgt_cntr_id is not None:
+            yield from thread.execute(cfg.lapi_counter_update)
+            self.ctx.counter_by_id(asm.tgt_cntr_id).add(1)
+            self.ctx.progress_ws.notify_all()
+        if asm.cmpl_cntr_id is not None:
+            yield from thread.execute(cfg.lapi_ack_cost)
+            self.lapi.transport.send_control(control_packet(
+                cfg, self.ctx.rank, asm.src, PacketKind.CMPL,
+                cntr_id=asm.cmpl_cntr_id))
+
+    # ------------------------------------------------------------------
+    # vector (non-contiguous) extension: putv / getv (section 6 #1)
+    # ------------------------------------------------------------------
+    def _putv_data(self, thread: "Thread", pkt: "Packet") -> Generator:
+        """A putv packet scatters its runs straight into memory."""
+        cfg = self.config
+        asm = self._assembly(pkt)
+        if not asm.hdr_seen:
+            asm.hdr_seen = True
+            asm.tgt_cntr_id = pkt.info["tgt_cntr_id"]
+            asm.cmpl_cntr_id = pkt.info["cmpl_cntr_id"]
+        payload = pkt.payload
+        if payload:
+            yield from thread.execute(cfg.copy_cost(len(payload)))
+            pos = 0
+            for addr, length in pkt.info["runs"]:
+                self.lapi.memory.write(addr, payload[pos:pos + length])
+                pos += length
+            asm.received += len(payload)
+            self.ctx.stats.bytes_received += len(payload)
+        if asm.complete:
+            del self.ctx.recv_asm[(asm.src, asm.msg_id)]
+            yield from self._message_complete(thread, asm)
+
+    def _getv_request(self, pkt: "Packet") -> None:
+        """Service one getv request packet: stream its runs back,
+        addressed directly to the origin's final locations."""
+        from .vector import MSG_GETV_REP, pack_vector_packets
+
+        lapi = self.lapi
+        cfg = self.config
+        runs = [tuple(r) for r in pkt.info["runs"]]
+        msg_id = pkt.info["msg_id"]
+        src = pkt.src
+
+        def body(thread):
+            dest_runs = [(org_addr, n) for _, org_addr, n in runs]
+            sources = [(tgt_addr, n) for tgt_addr, _, n in runs]
+
+            def read_run(ridx, off, length):
+                addr, _ = sources[ridx]
+                return lapi.memory.read(addr + off, length)
+
+            packets = pack_vector_packets(
+                cfg, lapi.ctx.rank, src, msg_id, MSG_GETV_REP,
+                dest_runs, read_run)
+            total = sum(n for _, n in dest_runs)
+            if total <= cfg.lapi_retrans_copy_limit:
+                yield from thread.execute(cfg.copy_cost(total))
+            for p in packets:
+                yield from thread.execute(cfg.lapi_pkt_send_cost)
+                yield from lapi.transport.send_data(thread, p)
+
+        lapi.task.node.cpu.spawn(body,
+                                 name=f"lapi{self.ctx.rank}.getvsvc",
+                                 priority=HANDLER)
+
+    def _getv_reply_data(self, thread: "Thread",
+                         pkt: "Packet") -> Generator:
+        """Vector reply runs land directly in their final addresses."""
+        cfg = self.config
+        pending = self.ctx.pending_gets.get(pkt.info["msg_id"])
+        if pending is None:
+            raise LapiError(
+                f"task {self.ctx.rank}: getv reply for unknown msg"
+                f" {pkt.info['msg_id']}")
+        payload = pkt.payload
+        if payload:
+            yield from thread.execute(cfg.copy_cost(len(payload)))
+            pos = 0
+            for addr, length in pkt.info["runs"]:
+                self.lapi.memory.write(addr, payload[pos:pos + length])
+                pos += length
+            pending.received += len(payload)
+            self.ctx.stats.bytes_received += len(payload)
+        if pending.complete:
+            del self.ctx.pending_gets[pending.msg_id]
+            if pending.org_cntr is not None:
+                yield from thread.execute(cfg.lapi_counter_update)
+                pending.org_cntr.add(1)
+            self.ctx.op_completed(pending.target)
+
+    # ------------------------------------------------------------------
+    # GET servicing
+    # ------------------------------------------------------------------
+    def _get_request(self, pkt: "Packet") -> None:
+        """Spawn a service thread to stream the requested data back.
+
+        The dispatcher itself must not block on the send window, so the
+        (window-limited) reply stream runs on a HANDLER-priority thread.
+        """
+        lapi = self.lapi
+        cfg = self.config
+        info = dict(pkt.info)
+        src = pkt.src
+
+        def body(thread):
+            data = lapi.memory.read(info["tgt_addr"], info["length"])
+            packets = get_reply_packets(cfg, lapi.ctx.rank, src,
+                                        info["msg_id"], data)
+            # Small replies are copied into LAPI's retransmission
+            # buffers; large ones stream straight from target memory
+            # (the same zero-copy rule as large puts).
+            if info["length"] <= cfg.lapi_retrans_copy_limit:
+                yield from thread.execute(cfg.copy_cost(info["length"]))
+            for p in packets:
+                yield from thread.execute(cfg.lapi_pkt_send_cost)
+                yield from lapi.transport.send_data(thread, p)
+            # Target counter: data has been copied out of target memory.
+            if info.get("tgt_cntr_id") is not None:
+                yield from thread.execute(cfg.lapi_counter_update)
+                lapi.ctx.counter_by_id(info["tgt_cntr_id"]).add(1)
+                lapi.ctx.progress_ws.notify_all()
+
+        lapi.task.node.cpu.spawn(body, name=f"lapi{self.ctx.rank}.getsvc",
+                                 priority=HANDLER)
+
+    def _get_reply_data(self, thread: "Thread",
+                        pkt: "Packet") -> Generator:
+        cfg = self.config
+        pending = self.ctx.pending_gets.get(pkt.info["msg_id"])
+        if pending is None:
+            raise LapiError(
+                f"task {self.ctx.rank}: get reply for unknown msg"
+                f" {pkt.info['msg_id']}")
+        payload = pkt.payload
+        if payload:
+            yield from thread.execute(cfg.copy_cost(len(payload)))
+            self.lapi.memory.write(pending.org_addr + pkt.info["offset"],
+                                   payload)
+            pending.received += len(payload)
+            self.ctx.stats.bytes_received += len(payload)
+        if pending.complete or pending.length == 0:
+            del self.ctx.pending_gets[pending.msg_id]
+            if pending.org_cntr is not None:
+                yield from thread.execute(cfg.lapi_counter_update)
+                pending.org_cntr.add(1)
+            self.ctx.op_completed(pending.target)
+
+    # ------------------------------------------------------------------
+    # RMW
+    # ------------------------------------------------------------------
+    def _rmw_request(self, thread: "Thread", pkt: "Packet") -> Generator:
+        """Apply an atomic op to target memory; reply with the old value.
+
+        Atomicity holds because all RMWs at a target are applied by its
+        dispatcher under the dispatch lock.
+        """
+        from .rmw import apply_rmw_local
+
+        cfg = self.config
+        info = pkt.info
+        yield from thread.execute(cfg.mutex_cost + 0.5)
+        prev = apply_rmw_local(self.lapi.memory, info["op"],
+                               info["tgt_addr"], info["in_val"],
+                               info.get("cmp_val"))
+        self.lapi.transport.send_control(control_packet(
+            cfg, self.ctx.rank, pkt.src, PacketKind.RMW_REP,
+            req_id=info["req_id"], prev_value=prev))
+
+    def _rmw_reply(self, thread: "Thread", pkt: "Packet") -> Generator:
+        cfg = self.config
+        pending = self.ctx.pending_rmws.pop(pkt.info["req_id"], None)
+        if pending is None:
+            raise LapiError(
+                f"task {self.ctx.rank}: RMW reply for unknown request"
+                f" {pkt.info['req_id']}")
+        pending.prev_value = pkt.info["prev_value"]
+        pending.done = True
+        if pending.prev_addr is not None:
+            yield from thread.execute(cfg.copy_cost(8))
+            self.lapi.memory.write_i64(pending.prev_addr,
+                                       pending.prev_value)
+        if pending.org_cntr is not None:
+            yield from thread.execute(cfg.lapi_counter_update)
+            pending.org_cntr.add(1)
+        self.ctx.op_completed(pending.target)

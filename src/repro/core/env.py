@@ -1,0 +1,46 @@
+"""LAPI_Qenv / LAPI_Senv: environment query and control."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import LapiError
+from .constants import QenvKey, SenvKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api import Lapi
+
+__all__ = ["do_qenv", "do_senv"]
+
+
+def do_qenv(lapi: "Lapi", key: QenvKey) -> int:
+    """LAPI_Qenv: query an environment value (immediate, no comm)."""
+    cfg = lapi.config
+    ctx = lapi.ctx
+    if key is QenvKey.TASK_ID:
+        return ctx.rank
+    if key is QenvKey.NUM_TASKS:
+        return ctx.size
+    if key is QenvKey.MAX_UHDR_SZ:
+        return cfg.lapi_uhdr_max
+    if key is QenvKey.MAX_AM_PAYLOAD:
+        return cfg.am_uhdr_payload
+    if key is QenvKey.MAX_PKT_PAYLOAD:
+        return cfg.lapi_payload
+    if key is QenvKey.INTERRUPT_SET:
+        return 1 if lapi.interrupt_mode else 0
+    if key is QenvKey.SEND_WINDOW:
+        return cfg.lapi_window
+    raise LapiError(f"unknown Qenv key {key!r}")
+
+
+def do_senv(lapi: "Lapi", key: SenvKey, value: int) -> None:
+    """LAPI_Senv: set an environment knob."""
+    if key is SenvKey.INTERRUPT_SET:
+        lapi.set_interrupt_mode(bool(value))
+        return
+    if key is SenvKey.ERROR_CHK:
+        # Parameter checking is always on in the model; accept the knob
+        # for interface compatibility.
+        return
+    raise LapiError(f"unknown Senv key {key!r}")

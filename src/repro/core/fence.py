@@ -1,0 +1,76 @@
+"""LAPI_Fence and LAPI_Gfence.
+
+Section 5.3.2's semantics, implemented precisely: a fence waits until
+every data transfer this task initiated has *arrived in the remote user
+buffers* -- it says nothing about completion handlers, which may still
+be running.  Arrival is observed through the reliability layer's
+acknowledgements (an ack is sent when the dispatcher has placed the
+packet), so fence completion is exactly "all my packets have been
+processed at their targets".
+
+``LAPI_Gfence`` is the collective version: a local fence followed by a
+dissemination barrier (log2(N) rounds of point-to-point tokens over the
+switch -- no magic global operation).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..errors import LapiError
+from .constants import PacketKind
+from .protocol import control_packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api import Lapi
+
+__all__ = ["do_fence", "do_gfence"]
+
+
+def do_fence(lapi: "Lapi", target: Optional[int] = None) -> Generator:
+    """Block until data transfers to ``target`` (or everyone) complete.
+
+    Completion here is the data-transfer level of section 5.3.2: packets
+    acknowledged / replies received; completion-handler execution status
+    remains unknown to a fence, as in real LAPI.
+    """
+    cfg = lapi.config
+    ctx = lapi.ctx
+    thread = lapi.current_thread()
+    if target is not None and not (0 <= target < ctx.size):
+        raise LapiError(f"fence target {target} outside job")
+    yield from thread.execute(cfg.lapi_call_overhead)
+    ctx.stats.fences += 1
+    yield from lapi.wait_for(lambda: ctx.outstanding_to(target) == 0)
+
+
+def do_gfence(lapi: "Lapi") -> Generator:
+    """Collective fence: local fence + dissemination barrier."""
+    ctx = lapi.ctx
+    cfg = lapi.config
+    thread = lapi.current_thread()
+    ctx.stats.gfences += 1
+    yield from do_fence(lapi, None)
+
+    size = ctx.size
+    if size == 1:
+        return
+    epoch = ctx.barrier_epoch
+    ctx.barrier_epoch += 1
+    rounds = 0
+    span = 1
+    while span < size:
+        rounds += 1
+        span <<= 1
+    for r in range(rounds):
+        dist = 1 << r
+        peer = (ctx.rank + dist) % size
+        yield from thread.execute(cfg.lapi_pkt_send_cost)
+        lapi.transport.send_control(control_packet(
+            cfg, ctx.rank, peer, PacketKind.BARRIER,
+            epoch=epoch, round=r))
+        yield from lapi.wait_for(
+            lambda e=epoch, rr=r: (e, rr) in ctx.barrier_tokens)
+    # Tokens of this epoch are consumed; drop them to bound memory.
+    ctx.barrier_tokens = {(e, r) for (e, r) in ctx.barrier_tokens
+                          if e != epoch}

@@ -1,0 +1,153 @@
+"""Origin-side implementation of LAPI_Put and LAPI_Get.
+
+Put and Get are the remote-memory-copy (RMC) primitives of section 2.2:
+unilateral, non-blocking, unordered.  The origin-side work is: charge
+the call overhead, packetize (for put) or issue a request (for get),
+register fence/counter bookkeeping, and hand packets to the reliable
+transport.  Target-side placement happens in the dispatcher.
+
+Origin-counter semantics (section 2.3): for a put no larger than the
+internal-retransmit-copy limit, LAPI copies the data into its own
+buffers and the origin counter fires before the call returns ("data is
+safely stored away"); for larger puts the user buffer must survive until
+every packet is acknowledged, so the origin counter fires on the last
+ack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..errors import LapiError
+from .constants import PacketKind
+from .context import GetPending, SendState
+from .protocol import control_packet, put_packets
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api import Lapi
+    from .counters import LapiCounter
+
+__all__ = ["do_put", "do_get"]
+
+
+def _validate_common(lapi: "Lapi", target: int, length: int) -> None:
+    if not (0 <= target < lapi.ctx.size):
+        raise LapiError(
+            f"target {target} outside job of {lapi.ctx.size} tasks")
+    if length < 0:
+        raise LapiError(f"negative transfer length {length}")
+
+
+def do_put(lapi: "Lapi", target: int, length: int, tgt_addr: int,
+           org_addr: int, tgt_cntr: Optional[int],
+           org_cntr: Optional["LapiCounter"],
+           cmpl_cntr: Optional["LapiCounter"]) -> Generator:
+    """LAPI_Put: copy ``length`` bytes from local ``org_addr`` to
+    ``tgt_addr`` in ``target``'s address space.  Non-blocking: returns
+    after the message is staged/queued (the "pipeline latency" of
+    section 4)."""
+    cfg = lapi.config
+    ctx = lapi.ctx
+    thread = lapi.current_thread()
+    _validate_common(lapi, target, length)
+    yield from thread.execute(cfg.lapi_call_overhead)
+    ctx.stats.puts += 1
+    ctx.stats.bytes_sent += length
+
+    data = lapi.memory.read(org_addr, length) if length else b""
+
+    if target == ctx.rank:
+        yield from _local_put(lapi, thread, data, tgt_addr, tgt_cntr,
+                              org_cntr, cmpl_cntr)
+        return
+
+    msg_id = ctx.new_msg_id()
+    cmpl_id = cmpl_cntr.id if cmpl_cntr is not None else None
+    packets = put_packets(cfg, ctx.rank, target, msg_id, data, tgt_addr,
+                          tgt_cntr, cmpl_id)
+
+    small = length <= cfg.lapi_retrans_copy_limit
+    state = SendState(msg_id, target, total_packets=len(packets),
+                      org_cntr=None if small else org_cntr,
+                      org_counted=small)
+    ctx.send_msgs[msg_id] = state
+    ctx.op_issued(target)
+    state.on_complete = _make_send_complete(lapi, state)
+
+    if small:
+        # Copy into LAPI's internal (retransmission) buffers: the user
+        # buffer is immediately reusable.
+        yield from thread.execute(cfg.copy_cost(length))
+        if org_cntr is not None:
+            yield from thread.execute(cfg.lapi_counter_update)
+            org_cntr.add(1)
+
+    for pkt in packets:
+        yield from thread.execute(cfg.lapi_pkt_send_cost)
+        yield from lapi.transport.send_data(thread, pkt,
+                                            on_ack=state.ack_one)
+
+
+def _make_send_complete(lapi: "Lapi", state: SendState):
+    def on_complete() -> None:
+        del lapi.ctx.send_msgs[state.msg_id]
+        if state.org_cntr is not None:
+            state.org_cntr.add(1)
+        lapi.ctx.op_completed(state.dst)
+    return on_complete
+
+
+def _local_put(lapi: "Lapi", thread, data: bytes, tgt_addr: int,
+               tgt_cntr: Optional[int],
+               org_cntr: Optional["LapiCounter"],
+               cmpl_cntr: Optional["LapiCounter"]) -> Generator:
+    """Put to self: one memcpy, all three counters fire locally."""
+    cfg = lapi.config
+    ctx = lapi.ctx
+    ctx.stats.local_fastpaths += 1
+    if data:
+        yield from thread.execute(cfg.copy_cost(len(data)))
+        lapi.memory.write(tgt_addr, data)
+    for cntr in (org_cntr, cmpl_cntr):
+        if cntr is not None:
+            cntr.add(1)
+    if tgt_cntr is not None:
+        ctx.counter_by_id(tgt_cntr).add(1)
+    ctx.progress_ws.notify_all()
+
+
+def do_get(lapi: "Lapi", target: int, length: int, tgt_addr: int,
+           org_addr: int, tgt_cntr: Optional[int],
+           org_cntr: Optional["LapiCounter"]) -> Generator:
+    """LAPI_Get: pull ``length`` bytes from ``tgt_addr`` at ``target``
+    into local ``org_addr``.  Non-blocking: returns once the request is
+    queued; ``org_cntr`` fires when the data has arrived."""
+    cfg = lapi.config
+    ctx = lapi.ctx
+    thread = lapi.current_thread()
+    _validate_common(lapi, target, length)
+    yield from thread.execute(cfg.lapi_call_overhead + cfg.lapi_get_extra)
+    ctx.stats.gets += 1
+
+    if target == ctx.rank:
+        ctx.stats.local_fastpaths += 1
+        if length:
+            data = lapi.memory.read(tgt_addr, length)
+            yield from thread.execute(cfg.copy_cost(length))
+            lapi.memory.write(org_addr, data)
+        if org_cntr is not None:
+            org_cntr.add(1)
+        if tgt_cntr is not None:
+            ctx.counter_by_id(tgt_cntr).add(1)
+        ctx.progress_ws.notify_all()
+        return
+
+    msg_id = ctx.new_msg_id()
+    ctx.pending_gets[msg_id] = GetPending(msg_id, target, org_addr,
+                                          length, org_cntr)
+    ctx.op_issued(target)
+    yield from thread.execute(cfg.lapi_pkt_send_cost)
+    lapi.transport.send_control(control_packet(
+        cfg, ctx.rank, target, PacketKind.GET_REQ,
+        msg_id=msg_id, tgt_addr=tgt_addr, length=length,
+        tgt_cntr_id=tgt_cntr))

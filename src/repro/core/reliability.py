@@ -1,0 +1,255 @@
+"""Reliable packet transport over the (lossy, reordering) SP switch.
+
+The switch may drop packets (CRC errors, link faults) and the multipath
+core reorders them; both LAPI and MPL therefore run a per-peer
+sequencing/acknowledgement/retransmission layer.  Section 5.3.1 notes
+its sender-side consequence: LAPI copies small messages into internal
+buffers "since retransmissions might be required in a case of switch
+failures" -- that copy is what lets small sends return immediately.
+
+Design:
+
+* every reliable packet gets a per-``(self, peer)`` sequence number;
+* the receiver acknowledges each packet (control path, no CPU thread)
+  and filters duplicates with a cumulative watermark + sparse set;
+* the sender keeps unacknowledged packets and retransmits them after a
+  timeout (a lazily started per-peer timer process);
+* *data* packets additionally consume send-window credits, giving
+  end-to-end flow control that back-pressures the sending thread; pure
+  control packets bypass the window so a dispatcher can always respond
+  without blocking (deadlock freedom).
+
+The class is protocol-agnostic: LAPI instantiates it with its packet
+kinds, MPL with its own.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from ..sim import Semaphore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.adapter import Adapter
+    from ..machine.cpu import Thread
+    from ..machine.packet import Packet
+    from ..sim import Simulator
+
+__all__ = ["ReliableTransport", "ACK_HEADER_BYTES"]
+
+#: Wire size of a bare acknowledgement packet.
+ACK_HEADER_BYTES = 16
+
+
+class _PeerTx:
+    """Sender-side state toward one peer."""
+
+    __slots__ = ("next_seq", "unacked", "window", "timer_running",
+                 "attempts")
+
+    def __init__(self, sim: "Simulator", window: int, name: str) -> None:
+        self.next_seq = 0
+        #: seq -> (packet, deadline, uses_window, on_ack)
+        self.unacked: dict[int, tuple] = {}
+        #: seq -> retransmission count.
+        self.attempts: dict[int, int] = {}
+        self.window = Semaphore(sim, value=window, name=f"win:{name}")
+        self.timer_running = False
+
+
+class _PeerRx:
+    """Receiver-side duplicate filter for one peer."""
+
+    __slots__ = ("cum", "seen")
+
+    def __init__(self) -> None:
+        #: All seqs < cum have been delivered.
+        self.cum = 0
+        self.seen: set[int] = set()
+
+    def fresh(self, seq: int) -> bool:
+        """Record ``seq``; True if it has not been delivered before."""
+        if seq < self.cum or seq in self.seen:
+            return False
+        self.seen.add(seq)
+        while self.cum in self.seen:
+            self.seen.remove(self.cum)
+            self.cum += 1
+        return True
+
+
+class ReliableTransport:
+    """Sequencing + ack + retransmission for one protocol stack."""
+
+    #: Retransmissions of one packet before the transport declares the
+    #: peer unreachable.  Real transports give up too; in the model the
+    #: overwhelmingly common cause is a program bug (mismatched
+    #: collectives leaving one task retransmitting to a terminated
+    #: peer), and a loud error beats an eternal silent retry loop.
+    MAX_RETRANSMITS_PER_PACKET = 50
+
+    def __init__(self, sim: "Simulator", adapter: "Adapter", proto: str,
+                 *, window: int, timeout: float,
+                 ack_kind: str = "ack") -> None:
+        self.sim = sim
+        self.adapter = adapter
+        self.proto = proto
+        self.window_size = window
+        self.timeout = timeout
+        self.ack_kind = ack_kind
+        self._tx: dict[int, _PeerTx] = {}
+        self._rx: dict[int, _PeerRx] = {}
+        #: Called with (packet) after every retransmission (stats hooks).
+        self.on_retransmit: Optional[Callable[["Packet"], None]] = None
+        #: Generator ``(thread, event) -> None`` used to block on a send
+        #: window credit.  The owning stack installs a progress-aware
+        #: version: in polling mode the waiting thread must drive the
+        #: dispatcher (to process the very acknowledgements that free
+        #: credits), or a long transfer deadlocks -- the polling-mode
+        #: hazard section 2.1 warns about, solved the way real LAPI
+        #: does: every LAPI call makes progress.
+        self.wait_credit: Callable = \
+            lambda thread, event: thread.wait(event)
+        #: Called after every acknowledgement is applied; the stack
+        #: points it at its progress wait-set so pollers blocked on a
+        #: window credit wake up when acks free one.
+        self.on_progress: Optional[Callable[[], None]] = None
+        # Statistics
+        self.retransmissions = 0
+        self.duplicates_dropped = 0
+        self.acks_sent = 0
+
+    # ------------------------------------------------------------------
+    def _peer_tx(self, peer: int) -> _PeerTx:
+        st = self._tx.get(peer)
+        if st is None:
+            st = _PeerTx(self.sim, self.window_size,
+                         f"{self.proto}{self.adapter.node_id}->{peer}")
+            self._tx[peer] = st
+        return st
+
+    def _peer_rx(self, peer: int) -> _PeerRx:
+        st = self._rx.get(peer)
+        if st is None:
+            st = _PeerRx()
+            self._rx[peer] = st
+        return st
+
+    def outstanding_to(self, peer: int) -> int:
+        """Unacknowledged packets in flight toward ``peer``."""
+        st = self._tx.get(peer)
+        return len(st.unacked) if st is not None else 0
+
+    def outstanding_total(self) -> int:
+        return sum(len(st.unacked) for st in self._tx.values())
+
+    # ------------------------------------------------------------------
+    # send side
+    # ------------------------------------------------------------------
+    def send_data(self, thread: "Thread", packet: "Packet",
+                  on_ack: Optional[Callable[[], None]] = None) -> Generator:
+        """Send a data packet from a CPU thread, honouring the window.
+
+        Blocks (in virtual time) while the peer's send window is full.
+        ``on_ack`` fires when this packet is acknowledged.
+        """
+        st = self._peer_tx(packet.dst)
+        credit = st.window.wait()
+        if not credit.triggered:
+            yield from self.wait_credit(thread, credit)
+        self._register(st, packet, uses_window=True, on_ack=on_ack)
+        yield from self.adapter.inject(thread, packet)
+
+    def send_control(self, packet: "Packet",
+                     on_ack: Optional[Callable[[], None]] = None) -> None:
+        """Send a control packet reliably, bypassing the window.
+
+        Callable from dispatcher context (no thread, never blocks); the
+        adapter reserves control slots so injection always succeeds.
+        """
+        st = self._peer_tx(packet.dst)
+        self._register(st, packet, uses_window=False, on_ack=on_ack)
+        self.adapter.inject_control(packet)
+
+    def _register(self, st: _PeerTx, packet: "Packet", *,
+                  uses_window: bool, on_ack) -> None:
+        packet.seq = st.next_seq
+        st.next_seq += 1
+        deadline = self.sim.now + self.timeout
+        st.unacked[packet.seq] = (packet, deadline, uses_window, on_ack)
+        if not st.timer_running:
+            st.timer_running = True
+            self.sim.process(self._retransmit_loop(packet.dst, st),
+                             name=f"retx:{self.proto}:{packet.dst}")
+
+    def _retransmit_loop(self, peer: int, st: _PeerTx) -> Generator:
+        """Per-peer timer: re-inject packets whose ack is overdue."""
+        while st.unacked:
+            horizon = min(d for (_, d, _, _) in st.unacked.values())
+            delay = max(horizon - self.sim.now, self.timeout * 0.25)
+            yield self.sim.timeout(delay)
+            now = self.sim.now
+            for seq in sorted(st.unacked):
+                pkt, deadline, uses_window, on_ack = st.unacked[seq]
+                if deadline <= now:
+                    tries = st.attempts.get(seq, 0) + 1
+                    if tries > self.MAX_RETRANSMITS_PER_PACKET:
+                        from ..errors import NetworkError
+                        raise NetworkError(
+                            f"{self.proto}@{self.adapter.node_id}: no"
+                            f" acknowledgement from node {peer} after"
+                            f" {tries - 1} retransmissions of {pkt!r}"
+                            " -- peer terminated or collective calls"
+                            " are mismatched")
+                    st.attempts[seq] = tries
+                    self.retransmissions += 1
+                    st.unacked[seq] = (pkt, now + self.timeout,
+                                       uses_window, on_ack)
+                    if self.on_retransmit is not None:
+                        self.on_retransmit(pkt)
+                    self.adapter.inject_control(pkt)
+        st.timer_running = False
+
+    # ------------------------------------------------------------------
+    # receive side
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: "Packet") -> bool:
+        """Process an arriving reliable packet.
+
+        Sends the acknowledgement and returns True exactly when the
+        packet is fresh (first delivery); duplicates return False and
+        must not be re-applied by the protocol layer.
+        """
+        from ..machine.packet import Packet as _Packet
+        ack = _Packet(src=self.adapter.node_id, dst=packet.src,
+                      proto=self.proto, kind=self.ack_kind,
+                      header_bytes=ACK_HEADER_BYTES,
+                      info={"acked_seq": packet.seq})
+        self.adapter.inject_control(ack)
+        self.acks_sent += 1
+        fresh = self._peer_rx(packet.src).fresh(packet.seq)
+        if not fresh:
+            self.duplicates_dropped += 1
+        return fresh
+
+    def on_ack(self, packet: "Packet") -> None:
+        """Process an arriving acknowledgement."""
+        st = self._tx.get(packet.src)
+        if st is None:
+            return
+        entry = st.unacked.pop(packet.info["acked_seq"], None)
+        if entry is None:
+            return  # duplicate ack
+        st.attempts.pop(packet.info["acked_seq"], None)
+        _, _, uses_window, on_ack = entry
+        if uses_window:
+            st.window.post()
+        if on_ack is not None:
+            on_ack()
+        if self.on_progress is not None:
+            self.on_progress()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ReliableTransport {self.proto}@{self.adapter.node_id}"
+                f" outstanding={self.outstanding_total()}"
+                f" retx={self.retransmissions}>")

@@ -1,0 +1,67 @@
+"""Exception hierarchy shared across the :mod:`repro` packages.
+
+Every layer of the stack (simulation kernel, machine model, LAPI, MPL,
+Global Arrays) raises exceptions derived from :class:`ReproError` so that
+callers can catch reproduction-specific failures without masking genuine
+Python bugs such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "MachineError",
+    "MemoryFault",
+    "AllocationError",
+    "NetworkError",
+    "LapiError",
+    "MplError",
+    "GaError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction library."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event kernel was violated."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting.
+
+    Raised by :meth:`repro.sim.Simulator.run` when ``fail_on_starvation``
+    is enabled and live processes remain blocked with no scheduled event
+    that could ever wake them -- the simulated system has deadlocked.
+    """
+
+
+class MachineError(ReproError):
+    """Base class for errors in the simulated SP machine model."""
+
+
+class MemoryFault(MachineError):
+    """An access touched simulated memory outside any live allocation."""
+
+
+class AllocationError(MachineError):
+    """The simulated heap could not satisfy an allocation request."""
+
+
+class NetworkError(MachineError):
+    """A packet violated switch/adapter invariants (bad route, oversize...)."""
+
+
+class LapiError(ReproError):
+    """An error reported by the simulated LAPI communication library."""
+
+
+class MplError(ReproError):
+    """An error reported by the simulated MPL/MPI message-passing library."""
+
+
+class GaError(ReproError):
+    """An error reported by the simulated Global Arrays toolkit."""

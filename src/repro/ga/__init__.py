@@ -1,0 +1,32 @@
+"""Global Arrays -- the paper's example user-level library (section 5).
+
+A portable shared-memory programming model over distributed 2-D arrays:
+one-sided put/get/accumulate on array sections, scatter/gather,
+read-and-increment, global mutexes, and sync/fence -- implemented on
+**two** backends for the paper's comparison:
+
+* :class:`~repro.ga.lapi_backend.LapiBackend` -- the hybrid AM/RMC
+  protocols of section 5.3;
+* :class:`~repro.ga.mpl_backend.MplBackend` -- the older
+  ``rcvncall``-based implementation of section 5.2.
+"""
+
+from .api import GlobalArrays
+from .array import GlobalArray
+from .config import GA_DEFAULTS, GaConfig
+from .distribution import BlockDistribution, process_grid
+from .sections import Section
+from .wire import DESCRIPTOR_SIZE, Descriptor, GaOp
+
+__all__ = [
+    "BlockDistribution",
+    "DESCRIPTOR_SIZE",
+    "Descriptor",
+    "GA_DEFAULTS",
+    "GaConfig",
+    "GaOp",
+    "GlobalArray",
+    "GlobalArrays",
+    "Section",
+    "process_grid",
+]

@@ -1,0 +1,149 @@
+"""Block distribution of Global Arrays over tasks.
+
+GA distributes a dense 2-D array over a process grid in contiguous
+blocks; every task can compute, locally and exactly, which task owns any
+element and where each owner's block starts -- the "full locality
+information and control" section 5.1 credits for application
+scalability.
+
+The grid is chosen by the classic GA heuristic: the most square
+factorization ``pr x pc`` of the task count, biased toward more row
+blocks (Fortran column-major storage keeps columns contiguous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import GaError
+from .sections import Section
+
+__all__ = ["BlockDistribution", "process_grid"]
+
+
+def process_grid(ntasks: int, dims: tuple[int, int]) -> tuple[int, int]:
+    """Choose a ``pr x pc`` process grid for ``ntasks`` tasks.
+
+    Picks the factorization closest to the array's aspect ratio so
+    blocks come out roughly square (GA's default heuristic).  When the
+    array is smaller than the task count in some dimension, the excess
+    grid slots own empty blocks (real GA behaves the same way for tiny
+    arrays such as shared counters).
+    """
+    if ntasks < 1:
+        raise GaError(f"need at least one task, got {ntasks}")
+    n, m = dims
+    best = (ntasks, 1)
+    best_score = None
+    for pr in range(1, ntasks + 1):
+        if ntasks % pr:
+            continue
+        pc = ntasks // pr
+        # Penalize grid slots that would own nothing, then prefer
+        # square blocks.
+        empty = max(0, pr - n) * pc + max(0, pc - m) * min(pr, n)
+        br, bc = n / min(pr, n), m / min(pc, m)
+        score = (empty * 1e9) + abs(br - bc)
+        if best_score is None or score < best_score:
+            best_score = score
+            best = (pr, pc)
+    return best
+
+
+@dataclass(frozen=True)
+class BlockDistribution:
+    """Owner-computes mapping of a 2-D array onto a task grid."""
+
+    dims: tuple[int, int]
+    pgrid: tuple[int, int]
+
+    @classmethod
+    def create(cls, dims: tuple[int, int],
+               ntasks: int) -> "BlockDistribution":
+        n, m = dims
+        if n < 1 or m < 1:
+            raise GaError(f"invalid array dims {dims}")
+        return cls(dims=(n, m), pgrid=process_grid(ntasks, (n, m)))
+
+    @property
+    def ntasks(self) -> int:
+        return self.pgrid[0] * self.pgrid[1]
+
+    # ------------------------------------------------------------------
+    def _split(self, extent: int, parts: int, index: int) -> tuple[int, int]:
+        """Inclusive bounds of chunk ``index`` when ``extent`` elements
+        split into ``parts`` nearly equal contiguous chunks."""
+        base, rem = divmod(extent, parts)
+        lo = index * base + min(index, rem)
+        hi = lo + base - 1 + (1 if index < rem else 0)
+        return lo, hi
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        """Grid coordinates of a rank (column-major rank ordering)."""
+        pr, pc = self.pgrid
+        if not (0 <= rank < pr * pc):
+            raise GaError(f"rank {rank} outside {pr}x{pc} grid")
+        return rank % pr, rank // pr
+
+    def rank_of(self, pi: int, pj: int) -> int:
+        pr, _ = self.pgrid
+        return pj * pr + pi
+
+    def block(self, rank: int) -> Optional[Section]:
+        """The section of the array owned by ``rank``.
+
+        ``None`` when the rank owns nothing (array smaller than the
+        grid in some dimension).
+        """
+        pr, pc = self.pgrid
+        pi, pj = self.coords(rank)
+        ilo, ihi = self._split(self.dims[0], pr, pi)
+        jlo, jhi = self._split(self.dims[1], pc, pj)
+        if ilo > ihi or jlo > jhi:
+            return None
+        return Section(ilo, ihi, jlo, jhi)
+
+    def owner_of(self, i: int, j: int) -> int:
+        """The rank owning element ``(i, j)``."""
+        n, m = self.dims
+        if not (0 <= i < n and 0 <= j < m):
+            raise GaError(f"element ({i},{j}) outside {n}x{m} array")
+        pr, pc = self.pgrid
+        pi = self._find(i, self.dims[0], pr)
+        pj = self._find(j, self.dims[1], pc)
+        return self.rank_of(pi, pj)
+
+    def _find(self, x: int, extent: int, parts: int) -> int:
+        base, rem = divmod(extent, parts)
+        cut = rem * (base + 1)
+        if x < cut:
+            return x // (base + 1)
+        return rem + (x - cut) // base if base else rem
+
+    def locate(self, section) -> list[tuple[int, Section]]:
+        """Decompose ``section`` into per-owner pieces.
+
+        Returns ``(rank, piece)`` pairs covering the section exactly,
+        ordered by rank -- the core of GA's owner-computes transfers.
+        """
+        section = Section.of(section)
+        n, m = self.dims
+        if not Section(0, n - 1, 0, m - 1).contains(section):
+            raise GaError(f"section {section} outside {n}x{m} array")
+        pieces = []
+        for rank in range(self.ntasks):
+            block = self.block(rank)
+            if block is None:
+                continue
+            piece = block.intersect(section)
+            if piece is not None:
+                pieces.append((rank, piece))
+        return pieces
+
+    def blocks(self) -> Iterator[tuple[int, Section]]:
+        """All (rank, block) pairs with non-empty blocks."""
+        for rank in range(self.ntasks):
+            block = self.block(rank)
+            if block is not None:
+                yield rank, block

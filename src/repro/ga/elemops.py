@@ -1,0 +1,142 @@
+"""Whole-array collective operations of the GA toolkit.
+
+The real Global Arrays library ships data-parallel operations over
+entire arrays -- ``GA_Scale``, ``GA_Add``, ``GA_Copy``, ``GA_Ddot``,
+``GA_Symmetrize``, ``GA_Transpose`` -- implemented owner-computes: each
+task updates its own block through the zero-copy local view, with
+communication only where the operation inherently needs it.  The
+chemistry applications of section 5.4 lean on these heavily between
+their one-sided phases.
+
+All functions are collective (every task must call them with the same
+arguments) and charge compute time at the node's sustained rates.
+Global reductions are built *from GA itself* (partial values meet in a
+small global array), so they exercise the same communication stack as
+everything else -- no out-of-band magic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from ..errors import GaError
+from .sections import Section
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api import GlobalArrays
+
+__all__ = ["scale", "add", "copy", "dot", "symmetrize"]
+
+
+def _aligned(ga_rt: "GlobalArrays", *handles: int):
+    """Fetch arrays and require identical shape + distribution."""
+    arrays = [ga_rt.array(h) for h in handles]
+    first = arrays[0]
+    for other in arrays[1:]:
+        if other.dims != first.dims or other.dist != first.dist:
+            raise GaError(
+                f"arrays {first.name!r} and {other.name!r} are not"
+                " aligned (same dims and distribution required)")
+    return arrays
+
+
+def scale(ga_rt: "GlobalArrays", handle: int, alpha: float) -> Generator:
+    """GA_Scale: ``A *= alpha`` (collective)."""
+    ga = ga_rt.array(handle)
+    thread = ga_rt.task.node.cpu.current_thread()
+    if ga.local_block is not None:
+        view = ga_rt.access(handle)
+        yield from thread.compute(
+            ga_rt.config.flop_cost(view.size))
+        view *= np.asarray(alpha, dtype=ga.dtype)
+    yield from ga_rt.backend.barrier()
+
+
+def add(ga_rt: "GlobalArrays", c_handle: int, a_handle: int,
+        b_handle: int, alpha: float = 1.0,
+        beta: float = 1.0) -> Generator:
+    """GA_Add: ``C = alpha*A + beta*B`` over aligned arrays."""
+    c, a, b = _aligned(ga_rt, c_handle, a_handle, b_handle)
+    thread = ga_rt.task.node.cpu.current_thread()
+    if c.local_block is not None:
+        cv = ga_rt.access(c_handle)
+        av = ga_rt.access(a_handle)
+        bv = ga_rt.access(b_handle)
+        yield from thread.compute(
+            ga_rt.config.flop_cost(3 * cv.size))
+        cv[...] = (np.asarray(alpha, dtype=c.dtype) * av
+                   + np.asarray(beta, dtype=c.dtype) * bv)
+    yield from ga_rt.backend.barrier()
+
+
+def copy(ga_rt: "GlobalArrays", src_handle: int,
+         dst_handle: int) -> Generator:
+    """GA_Copy: ``B = A`` over aligned arrays."""
+    src, dst = _aligned(ga_rt, src_handle, dst_handle)
+    thread = ga_rt.task.node.cpu.current_thread()
+    if src.local_block is not None:
+        sv = ga_rt.access(src_handle)
+        dv = ga_rt.access(dst_handle)
+        yield from thread.execute(ga_rt.config.copy_cost(sv.nbytes))
+        dv[...] = sv
+    yield from ga_rt.backend.barrier()
+
+
+def dot(ga_rt: "GlobalArrays", a_handle: int,
+        b_handle: int) -> Generator:
+    """GA_Ddot: global ``sum(A * B)``; same value on every task.
+
+    The reduction meets in a small global array: each task stores its
+    partial into its slot, everyone syncs and reads the column back --
+    a reduction made of GA's own one-sided operations.
+    """
+    a, b = _aligned(ga_rt, a_handle, b_handle)
+    thread = ga_rt.task.node.cpu.current_thread()
+    partial = 0.0
+    if a.local_block is not None:
+        av = ga_rt.access(a_handle)
+        bv = ga_rt.access(b_handle)
+        yield from thread.compute(
+            ga_rt.config.flop_cost(2 * av.size))
+        partial = float(np.sum(av * bv))
+    scratch = yield from ga_rt.create((ga_rt.size, 1),
+                                      dtype=np.float64,
+                                      name=f"_dot{a_handle}")
+    yield from ga_rt.put_ndarray(scratch,
+                                 (ga_rt.rank, ga_rt.rank, 0, 0),
+                                 [[partial]])
+    yield from ga_rt.sync()
+    col = yield from ga_rt.get_ndarray(scratch,
+                                       (0, ga_rt.size - 1, 0, 0))
+    yield from ga_rt.sync()
+    yield from ga_rt.destroy(scratch)
+    return float(col.sum())
+
+
+def symmetrize(ga_rt: "GlobalArrays", handle: int) -> Generator:
+    """GA_Symmetrize: ``A = (A + A^T) / 2`` for a square array.
+
+    Each task fetches the transpose-image of its block one-sidedly
+    (the classic mixed local/remote access pattern), so tasks must not
+    update their blocks until everyone has read: two sync points
+    bracket the update.
+    """
+    ga = ga_rt.array(handle)
+    n, m = ga.dims
+    if n != m:
+        raise GaError(f"symmetrize needs a square array, got {ga.dims}")
+    thread = ga_rt.task.node.cpu.current_thread()
+    block = ga.local_block
+    mirror = None
+    if block is not None:
+        src = Section(block.jlo, block.jhi, block.ilo, block.ihi)
+        mirror = yield from ga_rt.get_ndarray(handle, src)
+    yield from ga_rt.sync()  # all reads done before anyone writes
+    if block is not None:
+        view = ga_rt.access(handle)
+        yield from thread.compute(
+            ga_rt.config.flop_cost(2 * view.size))
+        view[...] = 0.5 * (view + mirror.T)
+    yield from ga_rt.sync()

@@ -1,0 +1,88 @@
+"""Generalized counters: GA's per-target completion bookkeeping.
+
+Section 5.3.2: "an array of generalized counters (one per remote node)
+is employed in GA.  A generalized counter structure contains a LAPI
+counter (used as completion counter for both LAPI_Amsend and LAPI_Put),
+a GA operation code for the most recent operation that used AM, and the
+number of requests issued."  GA's fence passes the issued count to
+LAPI_Waitcntr; the op code lets commutative operations (accumulate)
+skip redundant fencing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.api import Lapi
+    from ..core.counters import LapiCounter
+
+__all__ = ["GeneralizedCounter", "GenCounterArray"]
+
+#: GA operations whose completion order is irrelevant (commutative).
+_COMMUTATIVE = frozenset({"acc"})
+
+
+class GeneralizedCounter:
+    """Completion bookkeeping toward one remote node."""
+
+    __slots__ = ("target", "cntr", "last_op", "issued")
+
+    def __init__(self, target: int, cntr: "LapiCounter") -> None:
+        self.target = target
+        #: LAPI completion counter shared by Amsend and Put requests.
+        self.cntr = cntr
+        #: GA op code of the most recent operation (for fence skipping).
+        self.last_op: Optional[str] = None
+        #: Requests issued since the last fence.
+        self.issued = 0
+
+    def record(self, op: str, count: int = 1) -> None:
+        """Note ``count`` requests of kind ``op`` issued to the target."""
+        self.last_op = op
+        self.issued += count
+
+    @property
+    def needs_ordering_fence(self) -> bool:
+        """False when the outstanding tail is commutative (section
+        5.3.2's redundant-fence avoidance)."""
+        return self.issued > 0 and self.last_op not in _COMMUTATIVE
+
+
+class GenCounterArray:
+    """The per-remote-node array of generalized counters."""
+
+    def __init__(self, lapi: "Lapi") -> None:
+        self._lapi = lapi
+        self._counters = [
+            GeneralizedCounter(t, lapi.counter(name=f"ga.gen{t}"))
+            for t in range(lapi.size)]
+
+    def __getitem__(self, target: int) -> GeneralizedCounter:
+        return self._counters[target]
+
+    def __iter__(self):
+        return iter(self._counters)
+
+    def wait_target(self, target: int, *,
+                    ordering_only: bool = False):
+        """Wait for outstanding requests toward ``target`` (generator).
+
+        With ``ordering_only`` set, targets whose outstanding tail is
+        commutative are skipped -- completion is not needed to preserve
+        GA's ordering semantics for accumulate.
+        """
+        gen = self._counters[target]
+        if gen.issued == 0:
+            return
+        if ordering_only and not gen.needs_ordering_fence:
+            return
+        count, gen.issued = gen.issued, 0
+        gen.last_op = None
+        yield from self._lapi.waitcntr(gen.cntr, count)
+
+    def wait_all(self, *, ordering_only: bool = False):
+        """Fence every target (generator)."""
+        for gen in self._counters:
+            yield from self.wait_target(gen.target,
+                                        ordering_only=ordering_only)

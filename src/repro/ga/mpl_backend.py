@@ -1,0 +1,473 @@
+"""The GA-on-MPL backend: the paper's previous implementation (5.2).
+
+Remote access goes through MPL request messages that interrupt the
+target and invoke a ``rcvncall`` message handler:
+
+* **put/acc**: the request header and the data are *packed into one
+  message* (MPL's in-order progress rules prevent separating them --
+  section 5.4 -- so the sender pays a pack copy even for contiguous
+  data); the handler copies the data out of the message buffer into
+  the array (another copy);
+* **get**: a request message interrupts the target (paying the AIX
+  handler-context cost), the handler packs the data into a reply
+  message (copy) which the origin unpacks (copy);
+* **atomicity** of accumulate/read-inc uses ``lockrnc`` interrupt
+  disabling plus the effectively single-threaded handler execution --
+  exactly the mechanism section 5.2 describes;
+* **fence** exploits per-source in-order request servicing: a flush
+  request's reply proves all earlier requests from this origin were
+  handled.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from ..errors import GaError
+from ..sim import SimLock
+from .packing import (accumulate_packed_range, local_offset_of_piece,
+                      read_piece_packed, scatter_packed_range,
+                      write_piece_packed)
+from .sections import Section
+from .wire import DESCRIPTOR_SIZE, Descriptor, GaOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api import GlobalArrays
+    from .array import GlobalArray
+
+__all__ = ["MplBackend", "GA_REQ_TAG", "GA_REP_TAG"]
+
+#: Reserved tags of the GA request/reply streams.
+GA_REQ_TAG = -100
+GA_REP_TAG = -101
+
+
+class MplBackend:
+    """rcvncall-based GA protocols over the MPL stack."""
+
+    name = "mpl"
+
+    def __init__(self, runtime: "GlobalArrays") -> None:
+        self.runtime = runtime
+        self.task = runtime.task
+        self.mpl = runtime.task.mpl
+        if self.mpl is None:
+            raise GaError("GA MPL backend requires the MPL stack")
+        self.config = runtime.config
+        self.gcfg = runtime.gcfg
+        self.memory = runtime.task.node.memory
+        #: Serializes handler bodies: MPL handler execution is
+        #: effectively single-threaded (section 5.2 relies on it).
+        self._handler_lock: Optional[SimLock] = None
+        #: Requests issued per target since the last fence.
+        self._issued: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def init(self) -> Generator:
+        self._handler_lock = SimLock(self.mpl.sim,
+                                     name=f"ga{self.mpl.rank}.mplhdl")
+        # MPL (the pre-MPI library GA originally used) buffers
+        # non-blocking sends up to its internal buffer limit -- the
+        # "much larger buffer space in MPL/MPI" of section 5.4 that
+        # lets GA-MPL puts in the 1-20 KB band return sooner than
+        # GA-LAPI's acknowledged transfers.  MP_EAGER_LIMIT is the
+        # MPI-specific knob; raise the threshold to MPL's behaviour.
+        self.mpl.eager_limit = max(self.mpl.eager_limit,
+                                   self.config.mpl_send_buffer_limit)
+        self.mpl.rcvncall(GA_REQ_TAG, self._request_handler)
+        yield from self.mpl.barrier()
+
+    def terminate(self) -> Generator:
+        yield from self.sync()
+
+    # ==================================================================
+    # target side: the rcvncall request handler
+    # ==================================================================
+    def _request_handler(self, task, src, tag, blob):
+        """Service one GA request (runs on a handler thread after the
+        rcvncall context-creation cost was charged by the MPL layer)."""
+        thread = task.node.cpu.current_thread()
+        cfg = self.config
+        ev = self._handler_lock.acquire(owner=thread)
+        if not ev.triggered:
+            yield from thread.wait(ev)
+        try:
+            desc = Descriptor.unpack(blob)
+            data = blob[DESCRIPTOR_SIZE:]
+            rank = self.mpl.rank
+            if desc.op == GaOp.PUT:
+                ga = self.runtime.array(desc.handle)
+                yield from thread.execute(cfg.copy_cost(len(data)))
+                scatter_packed_range(self.memory, ga, rank,
+                                     desc.section, data, desc.offset)
+            elif desc.op == GaOp.ACC:
+                ga = self.runtime.array(desc.handle)
+                # lockrnc guards against re-entry, as in section 5.2.
+                self.mpl.lockrnc(True)
+                try:
+                    yield from thread.execute(
+                        cfg.mutex_cost + cfg.daxpy_cost(len(data)))
+                    accumulate_packed_range(self.memory, ga, rank,
+                                            desc.section, data,
+                                            desc.offset, desc.alpha)
+                finally:
+                    self.mpl.lockrnc(False)
+            elif desc.op == GaOp.GET:
+                ga = self.runtime.array(desc.handle)
+                piece = desc.section
+                nbytes = piece.size * ga.itemsize
+                # MPL progress rules force the reply through a message
+                # buffer: the handler packs unconditionally (the copy
+                # LAPI's one-sided replies avoid).
+                yield from thread.execute(cfg.copy_cost(nbytes))
+                payload = read_piece_packed(self.memory, ga, rank,
+                                            piece)
+                yield from self.mpl.send(src, payload, nbytes,
+                                         GA_REP_TAG)
+            elif desc.op == GaOp.READ_INC:
+                ga = self.runtime.array(desc.handle)
+                i, j = desc.section.ilo, desc.section.jlo
+                addr = ga.element_addr(rank, i, j)
+                self.mpl.lockrnc(True)
+                try:
+                    yield from thread.execute(cfg.mutex_cost + 0.5)
+                    prev = self.memory.read_i64(addr)
+                    self.memory.write_i64(addr, prev + desc.aux)
+                finally:
+                    self.mpl.lockrnc(False)
+                yield from self.mpl.send(
+                    src, np.int64(prev).tobytes(), 8, GA_REP_TAG)
+            elif desc.op == GaOp.LOCK_CAS:
+                addr = desc.reply_addr  # lock word address (local)
+                self.mpl.lockrnc(True)
+                try:
+                    yield from thread.execute(cfg.mutex_cost + 0.5)
+                    prev = self.memory.read_i64(addr)
+                    if prev == desc.aux:
+                        self.memory.write_i64(addr, int(desc.alpha))
+                finally:
+                    self.mpl.lockrnc(False)
+                yield from self.mpl.send(
+                    src, np.int64(prev).tobytes(), 8, GA_REP_TAG)
+            elif desc.op == GaOp.FENCE:
+                # Per-source in-order servicing: everything this origin
+                # sent earlier has been handled; just confirm.
+                yield from self.mpl.send(src, b"", 0, GA_REP_TAG)
+            elif desc.op == GaOp.SCATTER:
+                ga = self.runtime.array(desc.handle)
+                yield from thread.execute(cfg.copy_cost(len(data)))
+                for k in range(len(data) // 24):
+                    rec = data[k * 24:(k + 1) * 24]
+                    i = int(np.frombuffer(rec[:8], np.int64)[0])
+                    j = int(np.frombuffer(rec[8:16], np.int64)[0])
+                    addr = ga.element_addr(rank, i, j)
+                    self.memory.write(addr, rec[16:16 + ga.itemsize])
+            elif desc.op == GaOp.GATHER:
+                ga = self.runtime.array(desc.handle)
+                pairs = np.frombuffer(data, np.int64).reshape(-1, 2)
+                yield from thread.execute(
+                    cfg.copy_cost(len(pairs) * ga.itemsize))
+                out = bytearray()
+                for i, j in pairs:
+                    addr = ga.element_addr(rank, int(i), int(j))
+                    out += self.memory.read(addr, ga.itemsize)
+                yield from self.mpl.send(src, bytes(out), len(out),
+                                         GA_REP_TAG)
+            else:
+                raise GaError(f"unknown GA request {desc.op_name!r}")
+        finally:
+            self._handler_lock.release()
+
+    # ==================================================================
+    # origin side
+    # ==================================================================
+    def _pack_request(self, thread, desc: Descriptor,
+                      data: bytes) -> Generator:
+        """Pack header+data into one message (the unavoidable MPL
+        sender-side copy of section 5.4); returns the blob."""
+        cfg = self.config
+        yield from thread.execute(cfg.copy_cost(DESCRIPTOR_SIZE
+                                                + len(data)))
+        return desc.pack() + data
+
+    def _count(self, owner: int) -> None:
+        self._issued[owner] = self._issued.get(owner, 0) + 1
+
+    def put(self, ga: "GlobalArray", section: Section,
+            local_addr: int) -> Generator:
+        yield from self._put_or_acc(ga, section, local_addr, GaOp.PUT,
+                                    1.0)
+
+    def acc(self, ga: "GlobalArray", section: Section, local_addr: int,
+            alpha: float = 1.0) -> Generator:
+        yield from self._put_or_acc(ga, section, local_addr, GaOp.ACC,
+                                    alpha)
+
+    def _put_or_acc(self, ga: "GlobalArray", section: Section,
+                    local_addr: int, op: int,
+                    alpha: float) -> Generator:
+        mpl = self.mpl
+        cfg = self.config
+        thread = mpl.current_thread()
+        yield from thread.execute(self.gcfg.ga_call_overhead)
+        requests = []
+        for owner, piece in ga.dist.locate(section):
+            nbytes = piece.size * ga.itemsize
+            data = self._extract_local(ga, section, piece, local_addr)
+            if owner == mpl.rank:
+                if op == GaOp.PUT:
+                    yield from thread.execute(cfg.copy_cost(nbytes))
+                    scatter_packed_range(self.memory, ga, mpl.rank,
+                                         piece, data, 0)
+                else:
+                    mpl.lockrnc(True)
+                    try:
+                        yield from thread.execute(
+                            cfg.mutex_cost + cfg.daxpy_cost(nbytes))
+                        accumulate_packed_range(self.memory, ga,
+                                                mpl.rank, piece, data,
+                                                0, alpha)
+                    finally:
+                        mpl.lockrnc(False)
+                continue
+            desc = Descriptor(op=op, handle=ga.handle, section=piece,
+                              offset=0, total=nbytes, alpha=alpha)
+            blob = yield from self._pack_request(thread, desc, data)
+            req = yield from mpl.isend(owner, blob, len(blob),
+                                       GA_REQ_TAG)
+            requests.append(req)
+            self._count(owner)
+        # GA put returns when local buffers are reusable; the packed
+        # blob is already a private copy, so only transport completion
+        # of unbuffered sends gates us.
+        yield from mpl.waitall(requests)
+
+    def get(self, ga: "GlobalArray", section: Section,
+            local_addr: int) -> Generator:
+        mpl = self.mpl
+        cfg = self.config
+        thread = mpl.current_thread()
+        yield from thread.execute(self.gcfg.ga_call_overhead)
+        for owner, piece in ga.dist.locate(section):
+            nbytes = piece.size * ga.itemsize
+            contig_local, loff = local_offset_of_piece(
+                section, piece, ga.itemsize)
+            if owner == mpl.rank:
+                yield from thread.execute(cfg.copy_cost(nbytes))
+                blob = read_piece_packed(self.memory, ga, mpl.rank,
+                                         piece)
+                self._insert_local(ga, section, piece, local_addr, blob)
+                continue
+            desc = Descriptor(op=GaOp.GET, handle=ga.handle,
+                              section=piece, total=nbytes)
+            blob = yield from self._pack_request(thread, desc, b"")
+            yield from mpl.send(owner, blob, len(blob), GA_REQ_TAG)
+            if ga.piece_is_contiguous(owner, piece) and contig_local:
+                # 1-D fast path: post the receive straight onto the
+                # user's buffer -- "the MPL implementation is able to
+                # avoid one memory copy" (section 5.4).
+                yield from mpl.recv(owner, GA_REP_TAG,
+                                    local_addr + loff, nbytes)
+            else:
+                # Strided replies go through the receive buffer and
+                # are unpacked -- the extra copy the 1998 code paid on
+                # every 2-D request.
+                reply = yield from mpl.recv_bytes(owner, GA_REP_TAG)
+                yield from thread.execute(cfg.copy_cost(nbytes))
+                self._insert_local(ga, section, piece, local_addr,
+                                   reply)
+
+    # The local pack/unpack helpers are identical to the LAPI backend's.
+    def _extract_local(self, ga, section, piece, local_addr) -> bytes:
+        rel = piece.relative_to(section)
+        item = ga.itemsize
+        out = bytearray(piece.size * item)
+        pos = 0
+        for c in range(rel.jlo, rel.jhi + 1):
+            off = (c * section.rows + rel.ilo) * item
+            run = rel.rows * item
+            out[pos:pos + run] = self.memory.read(local_addr + off, run)
+            pos += run
+        return bytes(out)
+
+    def _insert_local(self, ga, section, piece, local_addr,
+                      blob) -> None:
+        rel = piece.relative_to(section)
+        item = ga.itemsize
+        pos = 0
+        for c in range(rel.jlo, rel.jhi + 1):
+            off = (c * section.rows + rel.ilo) * item
+            run = rel.rows * item
+            self.memory.write(local_addr + off, blob[pos:pos + run])
+            pos += run
+
+    # ------------------------------------------------------------------
+    def scatter(self, ga: "GlobalArray", points, values) -> Generator:
+        mpl = self.mpl
+        thread = mpl.current_thread()
+        yield from thread.execute(self.gcfg.ga_call_overhead)
+        by_owner: dict[int, list[int]] = {}
+        for k, (i, j) in enumerate(points):
+            by_owner.setdefault(ga.dist.owner_of(i, j), []).append(k)
+        requests = []
+        for owner, idxs in by_owner.items():
+            if owner == mpl.rank:
+                for k in idxs:
+                    i, j = points[k]
+                    addr = ga.element_addr(owner, i, j)
+                    self.memory.write(
+                        addr, np.asarray(values[k],
+                                         dtype=ga.dtype).tobytes())
+                continue
+            blob = bytearray()
+            for k in idxs:
+                i, j = points[k]
+                blob += np.int64(i).tobytes()
+                blob += np.int64(j).tobytes()
+                blob += np.asarray(values[k],
+                                   dtype=ga.dtype).tobytes().ljust(8,
+                                                                   b"\0")
+            desc = Descriptor(op=GaOp.SCATTER, handle=ga.handle,
+                              section=ga.local_block, total=len(blob),
+                              aux=len(idxs))
+            msg = yield from self._pack_request(thread, desc,
+                                                bytes(blob))
+            req = yield from mpl.isend(owner, msg, len(msg), GA_REQ_TAG)
+            requests.append(req)
+            self._count(owner)
+        yield from mpl.waitall(requests)
+
+    def gather(self, ga: "GlobalArray", points) -> Generator:
+        mpl = self.mpl
+        cfg = self.config
+        thread = mpl.current_thread()
+        yield from thread.execute(self.gcfg.ga_call_overhead)
+        out = np.zeros(len(points), dtype=ga.dtype)
+        by_owner: dict[int, list[int]] = {}
+        for k, (i, j) in enumerate(points):
+            by_owner.setdefault(ga.dist.owner_of(i, j), []).append(k)
+        for owner, idxs in by_owner.items():
+            if owner == mpl.rank:
+                for k in idxs:
+                    i, j = points[k]
+                    addr = ga.element_addr(owner, i, j)
+                    out[k] = np.frombuffer(
+                        self.memory.read(addr, ga.itemsize),
+                        dtype=ga.dtype)[0]
+                continue
+            blob = bytearray()
+            for k in idxs:
+                i, j = points[k]
+                blob += np.int64(i).tobytes()
+                blob += np.int64(j).tobytes()
+            desc = Descriptor(op=GaOp.GATHER, handle=ga.handle,
+                              section=ga.local_block, total=len(blob),
+                              aux=len(idxs))
+            msg = yield from self._pack_request(thread, desc,
+                                                bytes(blob))
+            yield from mpl.send(owner, msg, len(msg), GA_REQ_TAG)
+            reply = yield from mpl.recv_bytes(owner, GA_REP_TAG)
+            yield from thread.execute(
+                cfg.copy_cost(len(idxs) * ga.itemsize))
+            vals = np.frombuffer(reply, dtype=ga.dtype)
+            for k, v in zip(idxs, vals):
+                out[k] = v
+        return out
+
+    def read_inc(self, ga: "GlobalArray", point, inc: int) -> Generator:
+        if ga.dtype != np.int64:
+            raise GaError("read_inc requires an int64 global array")
+        mpl = self.mpl
+        thread = mpl.current_thread()
+        yield from thread.execute(self.gcfg.ga_call_overhead)
+        i, j = point
+        owner = ga.dist.owner_of(i, j)
+        if owner == mpl.rank:
+            addr = ga.element_addr(owner, i, j)
+            mpl.lockrnc(True)
+            try:
+                yield from thread.execute(self.config.mutex_cost + 0.5)
+                prev = self.memory.read_i64(addr)
+                self.memory.write_i64(addr, prev + inc)
+            finally:
+                mpl.lockrnc(False)
+            return prev
+        desc = Descriptor(op=GaOp.READ_INC, handle=ga.handle,
+                          section=Section(i, i, j, j), aux=inc)
+        blob = yield from self._pack_request(thread, desc, b"")
+        yield from mpl.send(owner, blob, len(blob), GA_REQ_TAG)
+        reply = yield from mpl.recv_bytes(owner, GA_REP_TAG)
+        return int(np.frombuffer(reply, np.int64)[0])
+
+    def lock_cas(self, owner: int, addr: int) -> Generator:
+        """One CAS attempt on a remote lock word via a request."""
+        mpl = self.mpl
+        thread = mpl.current_thread()
+        if owner == mpl.rank:
+            mpl.lockrnc(True)
+            try:
+                yield from thread.execute(self.config.mutex_cost + 0.5)
+                prev = self.memory.read_i64(addr)
+                if prev == 0:
+                    self.memory.write_i64(addr, 1)
+            finally:
+                mpl.lockrnc(False)
+            return prev == 0
+        desc = Descriptor(op=GaOp.LOCK_CAS, handle=-1,
+                          section=Section(0, 0, 0, 0), alpha=1.0,
+                          reply_addr=addr, aux=0)
+        blob = yield from self._pack_request(thread, desc, b"")
+        yield from mpl.send(owner, blob, len(blob), GA_REQ_TAG)
+        reply = yield from mpl.recv_bytes(owner, GA_REP_TAG)
+        return int(np.frombuffer(reply, np.int64)[0]) == 0
+
+    def unlock_swap(self, owner: int, addr: int) -> Generator:
+        mpl = self.mpl
+        thread = mpl.current_thread()
+        if owner == mpl.rank:
+            mpl.lockrnc(True)
+            try:
+                yield from thread.execute(self.config.mutex_cost + 0.5)
+                self.memory.write_i64(addr, 0)
+            finally:
+                mpl.lockrnc(False)
+            return
+        desc = Descriptor(op=GaOp.LOCK_CAS, handle=-1,
+                          section=Section(0, 0, 0, 0), alpha=0.0,
+                          reply_addr=addr, aux=1)
+        blob = yield from self._pack_request(thread, desc, b"")
+        yield from mpl.send(owner, blob, len(blob), GA_REQ_TAG)
+        yield from mpl.recv_bytes(owner, GA_REP_TAG)
+
+    # ------------------------------------------------------------------
+    def fence(self, *, ordering_only: bool = False) -> Generator:
+        """Flush: in-order servicing makes one round trip per target
+        with outstanding requests sufficient."""
+        mpl = self.mpl
+        thread = mpl.current_thread()
+        for owner in list(self._issued):
+            count = self._issued.get(owner, 0)
+            if count <= 0:
+                continue
+            self._issued[owner] = 0
+            desc = Descriptor(op=GaOp.FENCE, handle=-1,
+                              section=Section(0, 0, 0, 0), aux=count)
+            blob = yield from self._pack_request(thread, desc, b"")
+            yield from mpl.send(owner, blob, len(blob), GA_REQ_TAG)
+            yield from mpl.recv_bytes(owner, GA_REP_TAG)
+
+    def sync(self) -> Generator:
+        yield from self.fence()
+        yield from self.mpl.barrier()
+
+    def barrier(self) -> Generator:
+        yield from self.mpl.barrier()
+
+    def exchange(self, value) -> Generator:
+        """Collective allgather used by create (address exchange)."""
+        gathered = yield from self.mpl.allreduce(
+            [(self.mpl.rank, value)], lambda a, b: a + b)
+        table = dict(gathered)
+        return [table[r] for r in range(self.mpl.size)]

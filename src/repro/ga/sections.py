@@ -1,0 +1,107 @@
+"""2-D array section algebra for Global Arrays.
+
+GA operations address dense 2-D arrays through *sections* written
+``A(ilo:ihi, jlo:jhi)`` in the paper's HPF-flavoured notation -- with
+**inclusive** bounds, as in Fortran.  :class:`Section` carries that
+algebra: shape, containment, intersection, column decomposition.
+
+Arrays are stored column-major (Fortran order, faithful to GA), so a
+single-column section is contiguous in memory -- the paper's "1-D"
+requests -- while a general 2-D patch is strided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import GaError
+
+__all__ = ["Section"]
+
+
+@dataclass(frozen=True, order=True)
+class Section:
+    """An inclusive 2-D index range ``(ilo:ihi, jlo:jhi)``."""
+
+    ilo: int
+    ihi: int
+    jlo: int
+    jhi: int
+
+    def __post_init__(self) -> None:
+        if self.ilo > self.ihi or self.jlo > self.jhi:
+            raise GaError(f"empty/inverted section {self}")
+        if self.ilo < 0 or self.jlo < 0:
+            raise GaError(f"negative bounds in section {self}")
+
+    @classmethod
+    def of(cls, spec) -> "Section":
+        """Coerce a 4-tuple or Section into a Section."""
+        if isinstance(spec, Section):
+            return spec
+        ilo, ihi, jlo, jhi = spec
+        return cls(int(ilo), int(ihi), int(jlo), int(jhi))
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return self.ihi - self.ilo + 1
+
+    @property
+    def cols(self) -> int:
+        return self.jhi - self.jlo + 1
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return self.rows * self.cols
+
+    @property
+    def is_single_column(self) -> bool:
+        """True for the paper's contiguous "1-D" requests."""
+        return self.cols == 1
+
+    # ------------------------------------------------------------------
+    def contains(self, other: "Section") -> bool:
+        return (self.ilo <= other.ilo and other.ihi <= self.ihi
+                and self.jlo <= other.jlo and other.jhi <= self.jhi)
+
+    def contains_point(self, i: int, j: int) -> bool:
+        return self.ilo <= i <= self.ihi and self.jlo <= j <= self.jhi
+
+    def intersect(self, other: "Section") -> Optional["Section"]:
+        """Overlap of two sections, or None if disjoint."""
+        ilo = max(self.ilo, other.ilo)
+        ihi = min(self.ihi, other.ihi)
+        jlo = max(self.jlo, other.jlo)
+        jhi = min(self.jhi, other.jhi)
+        if ilo > ihi or jlo > jhi:
+            return None
+        return Section(ilo, ihi, jlo, jhi)
+
+    def overlaps(self, other: "Section") -> bool:
+        return self.intersect(other) is not None
+
+    def columns(self) -> Iterator["Section"]:
+        """The section split into its single-column strips."""
+        for j in range(self.jlo, self.jhi + 1):
+            yield Section(self.ilo, self.ihi, j, j)
+
+    def relative_to(self, origin: "Section") -> "Section":
+        """This section re-based to ``origin``'s coordinate frame.
+
+        Used to map a global sub-piece into offsets within a local
+        buffer that holds ``origin``'s data tightly packed.
+        """
+        if not origin.contains(self):
+            raise GaError(f"{self} not contained in {origin}")
+        return Section(self.ilo - origin.ilo, self.ihi - origin.ilo,
+                       self.jlo - origin.jlo, self.jhi - origin.jlo)
+
+    def __str__(self) -> str:
+        return f"({self.ilo}:{self.ihi},{self.jlo}:{self.jhi})"

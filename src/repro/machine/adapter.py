@@ -1,0 +1,237 @@
+"""The SP switch adapter (NIC) of one node.
+
+The adapter sits between the node's protocol stacks (LAPI, MPL) and the
+switch fabric.  Responsibilities:
+
+* **Transmit**: a DMA engine drains a bounded TX FIFO, pacing packets at
+  DMA-setup + wire-serialization + inter-packet-gap rate, then hands each
+  to the switch.  Stacks obtain FIFO credits before injecting, so a
+  saturated adapter back-pressures the sending thread (in virtual time).
+* **Receive**: arriving packets pass a receive-DMA engine and are
+  demultiplexed by protocol into per-client bounded RX FIFOs.  A full RX
+  FIFO *drops* the packet, exactly the overload behaviour whose recovery
+  the reliability layer's retransmission exists for.
+* **Interrupts**: each client chooses interrupt or polling mode.  In
+  interrupt mode an arrival notifies the client through ``on_arrival``
+  exactly once per burst (interrupts are coalesced while the client has
+  not re-armed, mirroring section 5.3.1's observation that back-to-back
+  messages avoid extra interrupts).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from ..errors import NetworkError
+from ..sim import Channel, Semaphore
+from .routing import SerialResource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Simulator, Tracer
+    from .config import MachineConfig
+    from .cpu import Thread
+    from .packet import Packet
+    from .switch import Switch
+
+__all__ = ["Adapter", "AdapterClient"]
+
+
+class AdapterClient:
+    """One protocol stack's attachment to the adapter.
+
+    Attributes
+    ----------
+    rx:
+        Bounded FIFO of arrived packets awaiting the stack's dispatcher.
+    interrupts_enabled:
+        When True, ``on_arrival`` fires for packet arrivals (subject to
+        coalescing via :meth:`arm_interrupt`).
+    on_arrival:
+        Callback invoked in simulation context (not on a CPU thread) when
+        a packet arrives and the interrupt is armed.  The stack typically
+        spawns its interrupt-priority dispatcher thread here.
+    """
+
+    def __init__(self, adapter: "Adapter", proto: str) -> None:
+        self.adapter = adapter
+        self.proto = proto
+        self.rx = Channel(adapter.sim, name=f"rx{adapter.node_id}.{proto}",
+                          capacity=adapter.config.adapter_rx_fifo,
+                          drop_on_overflow=True)
+        self.interrupts_enabled = True
+        self.on_arrival: Optional[Callable[[], None]] = None
+        #: Optional fast-path filter run at delivery time, before the
+        #: RX FIFO.  Returns True when it consumed the packet.  Protocol
+        #: stacks install their transport-ACK handler here: window
+        #: bookkeeping is adapter-assisted and must neither occupy the
+        #: FIFO nor raise interrupts.
+        self.delivery_filter: Optional[Callable[..., bool]] = None
+        self._armed = True
+
+    # -- interrupt coalescing -------------------------------------------
+    def arm_interrupt(self) -> None:
+        """Re-enable arrival notification (dispatcher has gone idle).
+
+        If packets are already queued, the notification fires
+        immediately -- the check-then-arm race is closed on behalf of
+        the stack.
+        """
+        self._armed = True
+        if len(self.rx) > 0:
+            self._fire()
+
+    def _fire(self) -> None:
+        if (self._armed and self.interrupts_enabled
+                and self.on_arrival is not None):
+            self._armed = False
+            self.on_arrival()
+
+    def _notify_arrival(self) -> None:
+        self._fire()
+
+    @property
+    def pending(self) -> int:
+        """Packets waiting in this client's RX FIFO."""
+        return len(self.rx)
+
+
+class Adapter:
+    """Switch adapter of one node."""
+
+    def __init__(self, sim: "Simulator", node_id: int,
+                 config: "MachineConfig",
+                 trace: Optional["Tracer"] = None) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.trace = trace
+        self.switch: Optional["Switch"] = None
+        self.clients: dict[str, AdapterClient] = {}
+        # TX path: credits bound the FIFO; a sim process drains it.
+        self._tx_queue = Channel(sim, name=f"tx{node_id}")
+        self._tx_credits = Semaphore(sim, value=config.adapter_tx_fifo,
+                                     name=f"txcred{node_id}")
+        self._rx_dma = SerialResource(f"rxdma{node_id}")
+        sim.process(self._tx_engine(), name=f"adapter{node_id}.tx")
+        # Statistics
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.rx_dropped = 0
+
+    # ------------------------------------------------------------------
+    def connect(self, switch: "Switch") -> None:
+        """Attach this adapter to the fabric."""
+        if self.switch is not None:
+            raise NetworkError(f"adapter {self.node_id} already connected")
+        self.switch = switch
+        switch.attach(self)
+
+    def attach_client(self, proto: str) -> AdapterClient:
+        """Register a protocol stack; ``proto`` keys demultiplexing."""
+        if proto in self.clients:
+            raise NetworkError(
+                f"protocol {proto!r} already attached at node"
+                f" {self.node_id}")
+        client = AdapterClient(self, proto)
+        self.clients[proto] = client
+        client.rx.on_drop = lambda pkt: self._count_drop(pkt)
+        return client
+
+    def _count_drop(self, packet: "Packet") -> None:
+        self.rx_dropped += 1
+        if self.trace is not None:
+            self.trace.log(self.sim.now, f"adapter{self.node_id}",
+                           "rxdrop", repr(packet))
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+    def inject(self, thread: "Thread", packet: "Packet") -> Generator:
+        """Hand ``packet`` to the adapter from a CPU thread.
+
+        Blocks the thread (releasing the CPU) while the TX FIFO is full;
+        this is the virtual-time backpressure a saturated adapter exerts
+        on the communication library.
+        """
+        if self.switch is None:
+            raise NetworkError(f"adapter {self.node_id} not connected")
+        packet.validate(self.config.packet_size)
+        credit = self._tx_credits.wait()
+        if not credit.triggered:
+            yield from thread.wait(credit)
+        self._tx_queue.put((packet, True))
+
+    def inject_async(self, packet: "Packet") -> bool:
+        """Best-effort injection from non-thread context.
+
+        Returns False if no credit was immediately available; callers
+        treat this as a (recoverable) dropped packet.
+        """
+        if self.switch is None:
+            raise NetworkError(f"adapter {self.node_id} not connected")
+        packet.validate(self.config.packet_size)
+        if not self._tx_credits.try_wait():
+            return False
+        self._tx_queue.put((packet, True))
+        return True
+
+    def inject_control(self, packet: "Packet") -> None:
+        """Inject a protocol control packet (ACK, completion, RMW reply).
+
+        Control packets use reserved adapter slots and never fail or
+        block: this is what lets a protocol dispatcher always respond to
+        traffic without taking a lock on the data path (deadlock
+        freedom).  They still serialize through the TX engine, so they
+        consume wire bandwidth like any other packet.
+        """
+        if self.switch is None:
+            raise NetworkError(f"adapter {self.node_id} not connected")
+        packet.validate(self.config.packet_size)
+        self._tx_queue.put((packet, False))
+
+    def _tx_engine(self) -> Generator:
+        """DMA engine: serializes packets onto the injection link."""
+        cfg = self.config
+        while True:
+            packet, took_credit = yield self._tx_queue.get()
+            yield self.sim.timeout(cfg.adapter_send_dma)
+            yield self.sim.timeout(packet.size / cfg.link_bandwidth
+                                   + cfg.packet_gap)
+            self.packets_sent += 1
+            if self.trace is not None:
+                self.trace.log(self.sim.now, f"adapter{self.node_id}",
+                               "tx", repr(packet))
+            self.switch.route(packet)
+            if took_credit:
+                self._tx_credits.post()
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def deliver(self, packet: "Packet") -> None:
+        """Called by the switch when a packet arrives at this node."""
+        finish = self._rx_dma.occupy(self.sim.now,
+                                     self.config.adapter_recv_dma)
+        ev = self.sim.timeout(finish - self.sim.now,
+                              name=f"rxdma:{packet.uid}")
+        ev.callbacks.append(lambda _ev, p=packet: self._enqueue(p))
+
+    def _enqueue(self, packet: "Packet") -> None:
+        client = self.clients.get(packet.proto)
+        if client is None:
+            raise NetworkError(
+                f"node {self.node_id}: packet for unattached protocol"
+                f" {packet.proto!r}")
+        self.packets_received += 1
+        if self.trace is not None:
+            self.trace.log(self.sim.now, f"adapter{self.node_id}",
+                           "rx", repr(packet))
+        if (client.delivery_filter is not None
+                and client.delivery_filter(packet)):
+            return
+        if client.rx.put(packet):
+            client._notify_arrival()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Adapter node={self.node_id} sent={self.packets_sent}"
+                f" recv={self.packets_received} dropped={self.rx_dropped}>")

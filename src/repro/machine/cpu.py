@@ -1,0 +1,190 @@
+"""The node CPU: cooperative threads over the simulation kernel.
+
+A 1998 SP "thin" node has a single P2SC processor, so at most one thread
+makes progress at a time.  :class:`Cpu` models this with a priority
+mutex: a :class:`Thread` must hold the CPU to consume time
+(:meth:`Thread.execute`), releases it whenever it blocks
+(:meth:`Thread.wait`, :meth:`Thread.sleep`), and re-acquires it before
+resuming.  Priorities let interrupt handlers run ahead of user threads
+the next time the CPU is released -- the model is non-preemptive at the
+granularity of a single ``execute`` segment, which matches the real
+system closely because communication-path code runs in short bursts, and
+long application compute phases use :meth:`Thread.compute`, which yields
+between quanta.
+
+Thread priorities (lower runs first)::
+
+    INTERRUPT (0) < HANDLER (5) < NORMAL (10)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..errors import MachineError
+from ..sim import Event, Process, SimLock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Simulator
+    from .config import MachineConfig
+
+__all__ = ["Cpu", "Thread", "INTERRUPT", "HANDLER", "NORMAL"]
+
+#: Priority for first-level interrupt handler threads.
+INTERRUPT = 0
+#: Priority for completion-handler / protocol-service threads.
+HANDLER = 5
+#: Priority for ordinary application threads.
+NORMAL = 10
+
+
+class Thread:
+    """A simulated thread of execution on one node's CPU.
+
+    Created through :meth:`Cpu.spawn`.  The ``body`` is a generator
+    function receiving the thread handle; it expresses computation with
+    ``yield from thread.execute(cost)`` and blocking with
+    ``yield from thread.wait(event)``.
+    """
+
+    def __init__(self, cpu: "Cpu", body: Callable[["Thread"], Generator],
+                 name: str, priority: int) -> None:
+        self.cpu = cpu
+        self.name = name
+        self.priority = priority
+        #: Wall... virtual time this thread has spent holding the CPU.
+        self.cpu_time = 0.0
+        self._holding = False
+        self._body = body
+        self.process: Process = cpu.sim.process(self._main(), name=name)
+        cpu._by_process[self.process] = self
+
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> "Simulator":
+        return self.cpu.sim
+
+    @property
+    def holding_cpu(self) -> bool:
+        return self._holding
+
+    def _main(self) -> Generator:
+        yield from self._acquire()
+        try:
+            result = yield from self._body(self)
+            return result
+        finally:
+            if self._holding:
+                self._release()
+            self.cpu._by_process.pop(self.process, None)
+
+    def _acquire(self) -> Generator:
+        if self._holding:
+            raise MachineError(f"thread {self.name} double-acquired CPU")
+        yield self.cpu._lock.acquire(owner=self, priority=self.priority)
+        self._holding = True
+
+    def _release(self) -> None:
+        if not self._holding:
+            raise MachineError(f"thread {self.name} released idle CPU")
+        self._holding = False
+        self.cpu._lock.release()
+
+    # ------------------------------------------------------------------
+    # the three verbs of a simulated thread
+    # ------------------------------------------------------------------
+    def execute(self, cost: float) -> Generator:
+        """Consume ``cost`` us of CPU, non-preemptibly."""
+        if cost < 0:
+            raise MachineError(f"negative execute cost {cost}")
+        if not self._holding:
+            yield from self._acquire()
+        if cost > 0:
+            yield self.sim.timeout(cost)
+            self.cpu_time += cost
+
+    def compute(self, cost: float, quantum: float = 50.0) -> Generator:
+        """Consume ``cost`` us of CPU, yielding between ``quantum`` slices.
+
+        Use for long application compute phases so interrupts and
+        handler threads are not starved for the whole duration.
+        """
+        remaining = float(cost)
+        while remaining > 0:
+            step = min(quantum, remaining)
+            yield from self.execute(step)
+            remaining -= step
+            if remaining > 0 and self.cpu._lock._waiters:
+                yield from self.yield_cpu()
+
+    def wait(self, event: Event) -> Generator:
+        """Release the CPU, wait for ``event``, re-acquire; returns value."""
+        if self._holding:
+            self._release()
+        value = yield event
+        yield from self._acquire()
+        return value
+
+    def sleep(self, delay: float) -> Generator:
+        """Release the CPU for ``delay`` us of virtual time."""
+        yield from self.wait(self.sim.timeout(delay))
+
+    def yield_cpu(self) -> Generator:
+        """Release and immediately re-queue for the CPU (scheduling point)."""
+        if self._holding:
+            self._release()
+        # A zero timeout lets same-time higher-priority acquirers slot in.
+        yield self.sim.timeout(0.0)
+        yield from self._acquire()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "running" if self._holding else "blocked"
+        return f"<Thread {self.name} prio={self.priority} {state}>"
+
+
+class Cpu:
+    """Priority-scheduled single processor of one node."""
+
+    def __init__(self, sim: "Simulator", node_id: int,
+                 config: "MachineConfig") -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self._lock = SimLock(sim, name=f"cpu{node_id}")
+        self._by_process: dict[Process, Thread] = {}
+        self._spawned = 0
+
+    def spawn(self, body: Callable[[Thread], Generator], *,
+              name: Optional[str] = None,
+              priority: int = NORMAL) -> Thread:
+        """Create and start a thread running ``body``."""
+        self._spawned += 1
+        label = name or f"cpu{self.node_id}.t{self._spawned}"
+        return Thread(self, body, label, priority)
+
+    def current_thread(self) -> Thread:
+        """The thread whose body is currently executing.
+
+        Lets library layers (LAPI, GA) charge CPU to whichever thread
+        called them without threading a handle through every signature.
+        """
+        proc = self.sim.active_process
+        thread = self._by_process.get(proc) if proc is not None else None
+        if thread is None:
+            raise MachineError(
+                f"no current thread on cpu{self.node_id}; communication"
+                " calls must run inside a Thread body")
+        return thread
+
+    @property
+    def busy(self) -> bool:
+        return self._lock.locked
+
+    @property
+    def running(self) -> Optional[Thread]:
+        """The thread currently holding the CPU, if any."""
+        owner = self._lock.owner
+        return owner if isinstance(owner, Thread) else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Cpu node={self.node_id} busy={self.busy}>"

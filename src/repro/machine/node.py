@@ -1,0 +1,38 @@
+"""One SP node: CPU + memory + switch adapter.
+
+A 1998 "thin" node is a uniprocessor P2SC with its own AIX image; in the
+model a :class:`Node` aggregates the three hardware resources every
+protocol stack needs and nothing else -- stacks attach themselves on top
+(see :class:`repro.machine.cluster.Cluster`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .adapter import Adapter
+from .cpu import Cpu
+from .memory import Memory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Simulator, Tracer
+    from .config import MachineConfig
+
+__all__ = ["Node"]
+
+
+class Node:
+    """Hardware of a single SP node."""
+
+    def __init__(self, sim: "Simulator", node_id: int,
+                 config: "MachineConfig",
+                 trace: Optional["Tracer"] = None) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.cpu = Cpu(sim, node_id, config)
+        self.memory = Memory(node_id, max_allocation=config.max_allocation)
+        self.adapter = Adapter(sim, node_id, config, trace=trace)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.node_id}>"

@@ -1,0 +1,81 @@
+"""Network packets exchanged through the simulated SP switch.
+
+A :class:`Packet` is what the adapter injects and the switch routes.  The
+protocol stacks (LAPI, MPL) put their wire-header *size* in
+``header_bytes`` -- it occupies link bandwidth -- while the decoded header
+*fields* travel in ``info`` (a real implementation would pack them into
+those bytes; carrying them decoded keeps the model inspectable without
+changing any timing).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import NetworkError
+
+__all__ = ["Packet"]
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One wire packet.
+
+    Attributes
+    ----------
+    src, dst:
+        Node ids of origin and target.
+    proto:
+        Owning protocol stack, e.g. ``"lapi"`` or ``"mpl"``; the adapter
+        demultiplexes arriving packets to the matching client.
+    kind:
+        Packet type within the protocol (``"data"``, ``"ack"``,
+        ``"rts"``...).
+    seq:
+        Transport-level sequence number assigned by the reliability
+        layer; ``-1`` for packets outside any reliable flow.
+    header_bytes:
+        Wire header size; charged against link bandwidth.
+    payload:
+        The data bytes carried (may be empty for control packets).
+    info:
+        Decoded protocol header fields (message id, offsets, handler
+        ids...).  Conceptually part of ``header_bytes``.
+    """
+
+    src: int
+    dst: int
+    proto: str
+    kind: str
+    header_bytes: int
+    payload: bytes = b""
+    seq: int = -1
+    info: dict[str, Any] = field(default_factory=dict)
+    #: Unique id for tracing/debugging; not part of the wire format.
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size(self) -> int:
+        """Total bytes on the wire."""
+        return self.header_bytes + len(self.payload)
+
+    def validate(self, max_size: int) -> None:
+        """Check wire-format invariants against the machine config."""
+        if self.src == self.dst:
+            raise NetworkError(f"packet {self.uid} loops to its source")
+        if self.src < 0 or self.dst < 0:
+            raise NetworkError(f"packet {self.uid} has a negative node id")
+        if self.header_bytes <= 0:
+            raise NetworkError(f"packet {self.uid} has no header")
+        if self.size > max_size:
+            raise NetworkError(
+                f"packet {self.uid} oversize: {self.size} > {max_size}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Packet#{self.uid} {self.proto}.{self.kind} "
+                f"{self.src}->{self.dst} seq={self.seq} "
+                f"{len(self.payload)}B+{self.header_bytes}B>")

@@ -1,0 +1,156 @@
+"""Link occupancy and path construction for the SP switch fabric.
+
+The switch is cut-through: a packet's head moves hop to hop with a small
+per-hop latency while each traversed link stays busy for the packet's
+serialization time.  :class:`SerialResource` captures exactly that with
+O(1) bookkeeping -- a ``busy_until`` watermark -- instead of a simulation
+process per link, which keeps multi-megabyte transfers (thousands of
+packets) cheap to simulate.
+
+Topology
+--------
+The model follows the SP switch structurally: nodes attach in groups to
+an *edge* switch; edge switches interconnect through ``mid_count``
+independent *middle* switches.  Traffic within a group crosses only its
+edge switch (single path, therefore in-order); traffic between groups
+picks one of ``mid_count`` disjoint routes per packet, which is what
+makes concurrent multi-packet messages arrive out of order -- the
+property LAPI's two-part handlers exist to tolerate (section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import MachineConfig
+
+__all__ = ["SerialResource", "Route", "Topology"]
+
+
+class SerialResource:
+    """A FIFO resource serving one item at a time (a link, a DMA engine).
+
+    :meth:`occupy` returns the completion time of a request arriving at
+    ``now`` needing ``duration`` of service; requests queue implicitly by
+    pushing the ``busy_until`` watermark.
+    """
+
+    __slots__ = ("name", "busy_until", "total_busy", "served")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy_until = 0.0
+        #: Aggregate service time, for utilization accounting.
+        self.total_busy = 0.0
+        self.served = 0
+
+    def occupy(self, now: float, duration: float) -> float:
+        """Reserve the resource; returns when service completes."""
+        if duration < 0:
+            raise NetworkError(f"negative service time on {self.name}")
+        start = now if now > self.busy_until else self.busy_until
+        finish = start + duration
+        self.busy_until = finish
+        self.total_busy += duration
+        self.served += 1
+        return finish
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` this resource was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.total_busy / horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SerialResource {self.name} busy_until={self.busy_until:.3f}>"
+
+
+@dataclass(frozen=True)
+class Route:
+    """An ordered list of links a packet traverses, plus fixed latency."""
+
+    links: tuple[SerialResource, ...]
+    #: Sum of per-hop and wire latencies along the route.
+    fixed_latency: float
+    #: True if the route crosses the middle stage (eligible for jitter).
+    crosses_core: bool
+
+
+@dataclass
+class Topology:
+    """Edge/middle switch topology for ``nnodes`` nodes.
+
+    Attributes
+    ----------
+    up, down:
+        Per-node injection (node to edge switch) and delivery (edge
+        switch to node) links.
+    edge_to_mid, mid_to_edge:
+        ``[edge][mid]`` link matrices for the core stage.
+    """
+
+    nnodes: int
+    group_size: int
+    mid_count: int
+    up: list[SerialResource] = field(default_factory=list)
+    down: list[SerialResource] = field(default_factory=list)
+    edge_to_mid: list[list[SerialResource]] = field(default_factory=list)
+    mid_to_edge: list[list[SerialResource]] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, nnodes: int, config: "MachineConfig") -> "Topology":
+        """Construct the link graph for ``nnodes`` nodes."""
+        if nnodes < 1:
+            raise NetworkError("topology needs at least one node")
+        topo = cls(nnodes=nnodes, group_size=config.switch_group_size,
+                   mid_count=config.switch_mid_count)
+        ngroups = (nnodes + topo.group_size - 1) // topo.group_size
+        for n in range(nnodes):
+            topo.up.append(SerialResource(f"up{n}"))
+            topo.down.append(SerialResource(f"down{n}"))
+        for e in range(ngroups):
+            topo.edge_to_mid.append(
+                [SerialResource(f"e{e}m{m}") for m in range(topo.mid_count)])
+            topo.mid_to_edge.append(
+                [SerialResource(f"m{m}e{e}") for m in range(topo.mid_count)])
+        return topo
+
+    @property
+    def ngroups(self) -> int:
+        return len(self.edge_to_mid)
+
+    def group_of(self, node: int) -> int:
+        """Edge switch a node attaches to."""
+        if not (0 <= node < self.nnodes):
+            raise NetworkError(f"node {node} outside topology")
+        return node // self.group_size
+
+    def routes(self, src: int, dst: int,
+               config: "MachineConfig") -> list[Route]:
+        """All candidate routes from ``src`` to ``dst``.
+
+        Same-group pairs have a single route through their edge switch;
+        cross-group pairs have ``mid_count`` disjoint routes.
+        """
+        if src == dst:
+            raise NetworkError("no route from a node to itself")
+        gs, gd = self.group_of(src), self.group_of(dst)
+        wire2 = 2 * config.wire_latency
+        if gs == gd:
+            # node -> edge switch -> node: one switch traversal.
+            return [Route(links=(self.up[src], self.down[dst]),
+                          fixed_latency=wire2 + config.hop_latency,
+                          crosses_core=False)]
+        routes = []
+        for m in range(self.mid_count):
+            links = (self.up[src], self.edge_to_mid[gs][m],
+                     self.mid_to_edge[gd][m], self.down[dst])
+            routes.append(Route(
+                links=links,
+                fixed_latency=wire2 + 3 * config.hop_latency,
+                crosses_core=True))
+        return routes

@@ -1,0 +1,82 @@
+"""Cluster-wide hardware statistics snapshots.
+
+Collects the counters every component of the machine model keeps
+(adapter send/receive/drop counts, switch routing and loss totals, the
+busiest links) into one report -- the observability surface operators
+of the real SP had through its monitoring tools, and what the examples
+print after a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cluster import Cluster
+
+__all__ = ["ClusterStats", "snapshot"]
+
+
+@dataclass
+class ClusterStats:
+    """One point-in-time view of the machine's counters."""
+
+    virtual_time_us: float
+    packets_routed: int
+    packets_lost: int
+    bytes_routed: int
+    adapter_sent: dict[int, int] = field(default_factory=dict)
+    adapter_received: dict[int, int] = field(default_factory=dict)
+    adapter_dropped: dict[int, int] = field(default_factory=dict)
+    #: (link name, utilization in [0, 1]) for the busiest links.
+    busiest_links: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.adapter_sent.values())
+
+    @property
+    def effective_bandwidth_mbs(self) -> float:
+        """Aggregate bytes over elapsed virtual time (MB/s)."""
+        if self.virtual_time_us <= 0:
+            return 0.0
+        return self.bytes_routed / self.virtual_time_us
+
+    def render(self) -> str:
+        lines = [
+            f"cluster stats @ {self.virtual_time_us:,.1f} virtual us",
+            f"  switch: {self.packets_routed:,} packets routed,"
+            f" {self.packets_lost:,} lost,"
+            f" {self.bytes_routed:,} bytes"
+            f" ({self.effective_bandwidth_mbs:.1f} MB/s aggregate)",
+        ]
+        for node in sorted(self.adapter_sent):
+            lines.append(
+                f"  node {node}: sent {self.adapter_sent[node]:,},"
+                f" received {self.adapter_received[node]:,},"
+                f" rx-dropped {self.adapter_dropped[node]:,}")
+        if self.busiest_links:
+            links = ", ".join(f"{name} {util:.0%}"
+                              for name, util in self.busiest_links)
+            lines.append(f"  busiest links: {links}")
+        return "\n".join(lines)
+
+
+def snapshot(cluster: "Cluster", top_links: int = 5) -> ClusterStats:
+    """Capture the current counters of every machine component."""
+    sw = cluster.switch
+    stats = ClusterStats(
+        virtual_time_us=cluster.sim.now,
+        packets_routed=sw.packets_routed,
+        packets_lost=sw.packets_lost,
+        bytes_routed=sw.bytes_routed)
+    for node in cluster.nodes:
+        ad = node.adapter
+        stats.adapter_sent[node.node_id] = ad.packets_sent
+        stats.adapter_received[node.node_id] = ad.packets_received
+        stats.adapter_dropped[node.node_id] = ad.rx_dropped
+    util = sw.link_utilization()
+    stats.busiest_links = sorted(util.items(), key=lambda kv: -kv[1])[
+        :top_links]
+    return stats

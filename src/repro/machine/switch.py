@@ -1,0 +1,114 @@
+"""The SP switch: routes packets between adapters.
+
+The switch owns the :class:`~repro.machine.routing.Topology`, selects a
+route per packet (randomly among the disjoint middle-stage routes for
+cross-group traffic -- the source of out-of-order delivery), charges link
+occupancy along the route, injects optional jitter and loss, and hands
+the packet to the destination adapter at its computed arrival time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import NetworkError
+from .routing import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import RngRegistry, Simulator, Tracer
+    from .adapter import Adapter
+    from .config import MachineConfig
+    from .packet import Packet
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """Multistage packet switch connecting all node adapters."""
+
+    def __init__(self, sim: "Simulator", nnodes: int,
+                 config: "MachineConfig", rng: "RngRegistry",
+                 trace: Optional["Tracer"] = None) -> None:
+        self.sim = sim
+        self.config = config
+        self.topology = Topology.build(nnodes, config)
+        self._adapters: list[Optional["Adapter"]] = [None] * nnodes
+        self._route_rng = rng.stream("switch.route")
+        self._loss_rng = rng.stream("switch.loss")
+        self.trace = trace
+        # Statistics
+        self.packets_routed = 0
+        self.packets_lost = 0
+        self.bytes_routed = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, adapter: "Adapter") -> None:
+        """Register ``adapter`` at its node's port."""
+        nid = adapter.node_id
+        if not (0 <= nid < len(self._adapters)):
+            raise NetworkError(f"node id {nid} outside switch")
+        if self._adapters[nid] is not None:
+            raise NetworkError(f"node {nid} already attached")
+        self._adapters[nid] = adapter
+
+    def route(self, packet: "Packet") -> None:
+        """Send ``packet`` through the fabric (called at injection time).
+
+        Link occupancy is charged immediately along the chosen route
+        (cut-through with implicit FIFO queueing per link); delivery to
+        the destination adapter is scheduled at the computed arrival
+        time.  Lost packets simply never arrive -- recovering them is the
+        reliability layer's job.
+        """
+        packet.validate(self.config.packet_size)
+        dst_adapter = self._adapters[packet.dst]
+        if dst_adapter is None:
+            raise NetworkError(f"packet to unattached node {packet.dst}")
+
+        cfg = self.config
+        if cfg.loss_rate > 0.0 and self._loss_rng.random() < cfg.loss_rate:
+            self.packets_lost += 1
+            if self.trace is not None:
+                self.trace.log(self.sim.now, "switch", "loss", repr(packet))
+            return
+
+        candidates = self.topology.routes(packet.src, packet.dst, cfg)
+        if len(candidates) == 1:
+            route = candidates[0]
+        else:
+            route = candidates[int(self._route_rng.integers(
+                0, len(candidates)))]
+
+        transfer = packet.size / cfg.link_bandwidth
+        t = self.sim.now
+        for link in route.links:
+            t = link.occupy(t, transfer)
+        t += route.fixed_latency
+        if route.crosses_core and cfg.route_jitter > 0.0:
+            t += float(self._route_rng.random()) * cfg.route_jitter
+
+        self.packets_routed += 1
+        self.bytes_routed += packet.size
+        if self.trace is not None:
+            self.trace.log(self.sim.now, "switch", "route",
+                           f"{packet!r} arrives t={t:.3f}")
+        delay = t - self.sim.now
+        ev = self.sim.timeout(delay, name=f"wire:{packet.uid}")
+        ev.callbacks.append(lambda _ev, p=packet: dst_adapter.deliver(p))
+
+    # ------------------------------------------------------------------
+    def link_utilization(self, horizon: Optional[float] = None) -> dict:
+        """Utilization snapshot of every link (diagnostics)."""
+        h = horizon if horizon is not None else self.sim.now
+        topo = self.topology
+        out = {}
+        for ln in topo.up + topo.down:
+            out[ln.name] = ln.utilization(h)
+        for row in topo.edge_to_mid + topo.mid_to_edge:
+            for ln in row:
+                out[ln.name] = ln.utilization(h)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Switch nodes={len(self._adapters)}"
+                f" routed={self.packets_routed} lost={self.packets_lost}>")

@@ -1,0 +1,27 @@
+"""MPL/MPI -- the message-passing baseline stack of the comparison.
+
+Implements the two-sided protocols the paper measures against LAPI:
+eager (with internal send buffering and early-arrival copies) and
+rendezvous (RTS/CTS) transfer, tag/source matching with per-source
+in-order delivery over the reordering switch, ``rcvncall`` interrupt
+receives, ``lockrnc`` atomicity, and log-time collectives.
+"""
+
+from .api import ANY_SOURCE, ANY_TAG, Mpl
+from .constants import MplPacketKind, ReservedTag
+from .matching import MatchEngine, MessageState, RecvRequest
+from .requests import MplContext, MplStats, SendRequest
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MatchEngine",
+    "MessageState",
+    "Mpl",
+    "MplContext",
+    "MplPacketKind",
+    "MplStats",
+    "RecvRequest",
+    "ReservedTag",
+    "SendRequest",
+]

@@ -1,0 +1,455 @@
+"""The public MPL/MPI interface -- the paper's baseline stack.
+
+One :class:`Mpl` object per task provides the two-sided message-passing
+surface the paper compares LAPI against:
+
+* blocking and non-blocking ``send``/``recv`` with tag + source
+  matching (wildcards supported) and per-source in-order delivery;
+* the **eager** protocol below ``MP_EAGER_LIMIT`` (buffered sends
+  return after an internal copy; early arrivals cost an extra copy at
+  the receiver) and the **rendezvous** protocol above it (RTS/CTS
+  round trip, then a single-copy transfer);
+* ``rcvncall`` -- MPL's interrupt-driven receive used by the old GA
+  implementation, paying the AIX handler-context-creation cost;
+* ``lockrnc`` -- MPL's interrupt disable/enable, the atomicity tool of
+  the MPL-based GA (section 5.2);
+* collectives (barrier / bcast / reduce) built from point-to-point.
+
+All communication methods are generator coroutines run on a node CPU
+thread, exactly like the LAPI API.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Union
+
+from ..errors import MplError
+from ..machine.cpu import INTERRUPT
+from .constants import ANY_SOURCE, ANY_TAG, ReservedTag
+from .dispatcher import MplDispatcher
+from .matching import RecvRequest
+from .protocol import PROTO, data_packets, rts_packet
+from .requests import MplContext, SendRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.cluster import Task
+    from ..machine.cpu import Thread
+
+__all__ = ["Mpl", "ANY_SOURCE", "ANY_TAG"]
+
+
+class Mpl:
+    """MPL/MPI communication handle of one task."""
+
+    def __init__(self, task: "Task", interrupt_mode: bool = True,
+                 eager_limit: Optional[int] = None) -> None:
+        self.task = task
+        self.config = task.node.config
+        if eager_limit is None:
+            eager_limit = self.config.mpl_eager_limit
+        if eager_limit > self.config.mpl_eager_limit_max:
+            raise MplError(
+                f"MP_EAGER_LIMIT {eager_limit} exceeds the maximum"
+                f" {self.config.mpl_eager_limit_max}")
+        #: Effective MP_EAGER_LIMIT for this task.
+        self.eager_limit = eager_limit
+        self.ctx = MplContext(task.cluster.sim, task.rank, task.size)
+        self.interrupt_mode = interrupt_mode
+        self.client = None
+        self.transport = None
+        self.dispatcher: Optional[MplDispatcher] = None
+        self._initialized = False
+        #: Depth of lockrnc interrupt-disable nesting.
+        self._lockrnc_depth = 0
+
+    # shorthands ---------------------------------------------------------
+    @property
+    def memory(self):
+        return self.task.node.memory
+
+    @property
+    def sim(self):
+        return self.task.cluster.sim
+
+    @property
+    def rank(self) -> int:
+        return self.ctx.rank
+
+    @property
+    def size(self) -> int:
+        return self.ctx.size
+
+    @property
+    def stats(self):
+        return self.ctx.stats
+
+    def current_thread(self) -> "Thread":
+        return self.task.node.cpu.current_thread()
+
+    def _check_live(self) -> None:
+        if not self._initialized:
+            raise MplError("MPL used before init")
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def init(self) -> Generator:
+        """Attach to the adapter and start the progress engine."""
+        if self._initialized:
+            raise MplError("MPL init called twice")
+        from ..core.reliability import ReliableTransport
+        thread = self.current_thread()
+        yield from thread.execute(self.config.mpl_call_overhead)
+        adapter = self.task.node.adapter
+        self.client = adapter.attach_client(PROTO)
+        self.transport = ReliableTransport(
+            self.sim, adapter, PROTO,
+            window=self.config.mpl_window,
+            timeout=self.config.mpl_retrans_timeout)
+        self.dispatcher = MplDispatcher(self)
+        self.transport.wait_credit = self._wait_credit
+        self.transport.on_progress = self.ctx.progress_ws.notify_all
+        self.client.delivery_filter = self._ack_fast_path
+        self.client.on_arrival = self._spawn_interrupt_dispatcher
+        self.client.interrupts_enabled = self.interrupt_mode
+        self._initialized = True
+
+    def _wait_credit(self, thread, event) -> Generator:
+        """Block on a send-window credit, driving progress if polling."""
+        if self.interrupt_mode and self._lockrnc_depth == 0:
+            yield from thread.wait(event)
+        else:
+            while not event.triggered:
+                yield from self.dispatcher.poll_step(thread)
+
+    def _ack_fast_path(self, packet) -> bool:
+        """Adapter-level transport-ACK handling (see the LAPI twin)."""
+        from .constants import MplPacketKind
+        if packet.kind == MplPacketKind.ACK:
+            self.transport.on_ack(packet)
+            return True
+        return False
+
+    def term(self) -> Generator:
+        """Quiesce (collective) and detach."""
+        self._check_live()
+        yield from self.barrier()
+        yield from self.wait_for(lambda: self.ctx.active_handlers == 0)
+        self.client.interrupts_enabled = False
+        self._initialized = False
+
+    def _spawn_interrupt_dispatcher(self) -> None:
+        if self._lockrnc_depth > 0:
+            # Interrupts disabled via lockrnc: serviced on unlock.
+            return
+        self.task.node.cpu.spawn(
+            self.dispatcher.interrupt_service,
+            name=f"mpl{self.rank}.irq", priority=INTERRUPT)
+
+    # ------------------------------------------------------------------
+    # progress plumbing (mirrors the LAPI API)
+    # ------------------------------------------------------------------
+    def wait_for(self, predicate: Callable[[], bool]) -> Generator:
+        thread = self.current_thread()
+        while not predicate():
+            if self.interrupt_mode and self._lockrnc_depth == 0:
+                yield from thread.wait(self.ctx.progress_ws.wait())
+            else:
+                yield from self.dispatcher.poll_step(thread)
+
+    def wait(self, request: Union[SendRequest, RecvRequest]) -> Generator:
+        """Block until a send or receive request completes."""
+        self._check_live()
+        yield from self.wait_for(lambda: request.complete)
+
+    def waitall(self, requests) -> Generator:
+        """Block until every request in the iterable completes."""
+        reqs = list(requests)
+        yield from self.wait_for(lambda: all(r.complete for r in reqs))
+
+    def waitany(self, requests) -> Generator:
+        """Block until at least one request completes; returns the
+        index of the first complete one."""
+        reqs = list(requests)
+        if not reqs:
+            raise MplError("waitany on an empty request list")
+        yield from self.wait_for(
+            lambda: any(r.complete for r in reqs))
+        for i, r in enumerate(reqs):
+            if r.complete:
+                return i
+
+    # ------------------------------------------------------------------
+    # lockrnc: MPL's interrupt disable (atomicity tool of GA-on-MPL)
+    # ------------------------------------------------------------------
+    def lockrnc(self, disable: bool) -> None:
+        """Disable (True) / re-enable (False) communication interrupts."""
+        self._check_live()
+        if disable:
+            self._lockrnc_depth += 1
+            self.client.interrupts_enabled = False
+        else:
+            if self._lockrnc_depth == 0:
+                raise MplError("lockrnc unlock without lock")
+            self._lockrnc_depth -= 1
+            if self._lockrnc_depth == 0 and self.interrupt_mode:
+                self.client.interrupts_enabled = True
+                self.client.arm_interrupt()
+
+    # ------------------------------------------------------------------
+    # sends
+    # ------------------------------------------------------------------
+    def isend(self, dst: int, source: Union[int, bytes], nbytes: int,
+              tag: int) -> Generator:
+        """Non-blocking send; returns a :class:`SendRequest`.
+
+        ``source`` is a local memory address or a ``bytes`` payload
+        (internal staging, used by collectives and packing layers).
+        """
+        self._check_live()
+        cfg = self.config
+        ctx = self.ctx
+        thread = self.current_thread()
+        if not (0 <= dst < ctx.size):
+            raise MplError(f"destination {dst} outside job of {ctx.size}")
+        if nbytes < 0:
+            raise MplError(f"negative send length {nbytes}")
+        yield from thread.execute(cfg.mpl_call_overhead)
+        ctx.stats.sends += 1
+        ctx.stats.bytes_sent += nbytes
+
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            data = bytes(source[:nbytes])
+            if len(data) != nbytes:
+                raise MplError(
+                    f"payload holds {len(data)} bytes, expected {nbytes}")
+        else:
+            data = self.memory.read(source, nbytes) if nbytes else b""
+
+        if dst == ctx.rank:
+            req = yield from self._local_send(thread, data, tag)
+            return req
+
+        msg_seq = ctx.next_seq(dst)
+        if nbytes <= self.eager_limit:
+            req = yield from self._send_eager(thread, dst, msg_seq, tag,
+                                              data)
+        else:
+            req = yield from self._send_rndv(thread, dst, msg_seq, tag,
+                                             data)
+        return req
+
+    def _send_eager(self, thread, dst: int, msg_seq: int, tag: int,
+                    data: bytes) -> Generator:
+        cfg = self.config
+        ctx = self.ctx
+        buffered = len(data) <= cfg.mpl_send_buffer_limit
+        proto = "eager-buffered" if buffered else "eager-direct"
+        req = SendRequest(dst, msg_seq, len(data), proto)
+        packets = data_packets(cfg, ctx.rank, dst, msg_seq, tag, data)
+        req.total_packets = len(packets)
+        if buffered:
+            # Copy into MPL's internal send buffer: the user buffer is
+            # reusable as soon as the copy finishes (the generous
+            # buffering section 5.4 credits for the 1-20 KB band).
+            yield from thread.execute(cfg.copy_cost(len(data)))
+            req.complete = True
+            ctx.stats.eager_buffered += 1
+        else:
+            ctx.stats.eager_direct += 1
+
+        def on_ack(r=req):
+            if r.ack_one():
+                ctx.progress_ws.notify_all()
+
+        for pkt in packets:
+            yield from thread.execute(cfg.mpl_pkt_send_cost)
+            yield from self.transport.send_data(thread, pkt,
+                                                on_ack=on_ack)
+        return req
+
+    def _send_rndv(self, thread, dst: int, msg_seq: int, tag: int,
+                   data: bytes) -> Generator:
+        """Rendezvous: RTS now; a service thread streams after CTS."""
+        cfg = self.config
+        ctx = self.ctx
+        ctx.stats.rendezvous += 1
+        req = SendRequest(dst, msg_seq, len(data), "rendezvous")
+        req.cts_event = self.sim.event(name=f"cts:{dst}:{msg_seq}")
+        ctx.rndv_waiting[(dst, msg_seq)] = req
+        yield from thread.execute(cfg.mpl_rendezvous_ctrl_cost)
+        self.transport.send_control(rts_packet(cfg, ctx.rank, dst,
+                                               msg_seq, tag, len(data)))
+        packets = data_packets(cfg, ctx.rank, dst, msg_seq, tag, data,
+                               is_rndv=True)
+        req.total_packets = len(packets)
+        mpl = self
+
+        def on_ack(r=req):
+            if r.ack_one():
+                ctx.progress_ws.notify_all()
+
+        def streamer(sthread):
+            yield from sthread.wait(req.cts_event)
+            yield from sthread.execute(cfg.mpl_rendezvous_ctrl_cost)
+            for pkt in packets:
+                yield from sthread.execute(cfg.mpl_pkt_send_cost)
+                yield from mpl.transport.send_data(sthread, pkt,
+                                                   on_ack=on_ack)
+
+        from ..machine.cpu import HANDLER
+        self.task.node.cpu.spawn(streamer,
+                                 name=f"mpl{ctx.rank}.rndv{msg_seq}",
+                                 priority=HANDLER)
+        return req
+
+    def _local_send(self, thread, data: bytes, tag: int) -> Generator:
+        """Send to self: goes through the matching engine locally."""
+        cfg = self.config
+        ctx = self.ctx
+        from .matching import MessageState
+        msg = MessageState(ctx.rank, ctx.next_seq(ctx.rank))
+        msg.set_envelope(tag, len(data), False)
+        yield from thread.execute(cfg.copy_cost(len(data)))
+        req = SendRequest(ctx.rank, msg.msg_seq, len(data),
+                          "eager-buffered")
+        req.complete = True
+        for env in ctx.match.admit_envelope(msg):
+            bound = ctx.match.match_arrival(env)
+            env.early_buffer = bytearray(data)
+            env.used_early = True
+            env.received = len(data)
+            if bound is not None:
+                yield from self.dispatcher.deliver(thread, env)
+            elif env.rcvncall_fn is not None:
+                ctx.recv_msgs[(env.src, env.msg_seq)] = env
+                yield from self.dispatcher._maybe_complete(thread, env)
+            else:
+                ctx.recv_msgs[(env.src, env.msg_seq)] = env
+        return req
+
+    def send(self, dst: int, source: Union[int, bytes], nbytes: int,
+             tag: int) -> Generator:
+        """Blocking send (returns when the user buffer is reusable)."""
+        req = yield from self.isend(dst, source, nbytes, tag)
+        yield from self.wait(req)
+
+    # ------------------------------------------------------------------
+    # receives
+    # ------------------------------------------------------------------
+    def irecv(self, src: int, tag: int, addr: Optional[int],
+              maxlen: int) -> Generator:
+        """Non-blocking receive; returns a :class:`RecvRequest`.
+
+        ``addr=None`` receives into internal storage; the payload is
+        available as ``request.data`` once complete.
+        """
+        self._check_live()
+        cfg = self.config
+        ctx = self.ctx
+        thread = self.current_thread()
+        yield from thread.execute(cfg.mpl_call_overhead
+                                  + cfg.mpl_post_recv_cost)
+        ctx.stats.recvs += 1
+        req = RecvRequest(src, tag, addr, maxlen)
+        msg = ctx.match.post_recv(req)
+        if msg is not None:
+            yield from thread.execute(cfg.mpl_match_cost)
+            yield from self.dispatcher._bind_flush(thread, msg)
+            if msg.is_rndv:
+                self.dispatcher._send_cts(msg)
+            if msg.data_complete:
+                yield from self.dispatcher.deliver(thread, msg)
+        return req
+
+    def recv(self, src: int, tag: int, addr: Optional[int],
+             maxlen: int) -> Generator:
+        """Blocking receive; returns the completed request."""
+        req = yield from self.irecv(src, tag, addr, maxlen)
+        yield from self.wait(req)
+        return req
+
+    def recv_bytes(self, src: int, tag: int,
+                   maxlen: int = 1 << 30) -> Generator:
+        """Blocking receive into internal storage; returns the bytes."""
+        req = yield from self.recv(src, tag, None, maxlen)
+        return req.data if req.data is not None else b""
+
+    # ------------------------------------------------------------------
+    # probe
+    # ------------------------------------------------------------------
+    def iprobe(self, src: int, tag: int) -> Generator:
+        """Non-blocking probe: ``(src, tag, nbytes)`` of the first
+        matching unexpected message, or None.
+
+        Drives progress in polling mode (like any MPL call).
+        """
+        self._check_live()
+        thread = self.current_thread()
+        yield from thread.execute(self.config.mpl_call_overhead * 0.5)
+        if (not self.interrupt_mode or self._lockrnc_depth > 0) \
+                and self.client.pending > 0:
+            yield from self.dispatcher.drain(thread)
+        return self._match_unexpected(src, tag)
+
+    def probe(self, src: int, tag: int) -> Generator:
+        """Blocking probe: waits until a matching message is available
+        (without receiving it); returns ``(src, tag, nbytes)``."""
+        self._check_live()
+        thread = self.current_thread()
+        yield from thread.execute(self.config.mpl_call_overhead * 0.5)
+        while True:
+            found = self._match_unexpected(src, tag)
+            if found is not None:
+                return found
+            if self.interrupt_mode and self._lockrnc_depth == 0:
+                yield from thread.wait(self.ctx.progress_ws.wait())
+            else:
+                yield from self.dispatcher.poll_step(thread)
+
+    def _match_unexpected(self, src: int, tag: int):
+        for msg in self.ctx.match.unexpected:
+            if ((src == ANY_SOURCE or src == msg.src)
+                    and (tag == ANY_TAG or tag == msg.tag)):
+                return (msg.src, msg.tag, msg.total)
+        return None
+
+    # ------------------------------------------------------------------
+    # rcvncall
+    # ------------------------------------------------------------------
+    def rcvncall(self, tag: int, handler: Callable) -> None:
+        """Register a persistent interrupt-receive handler for ``tag``.
+
+        ``handler(task, src, tag, data)`` runs on a handler thread after
+        the AIX context-creation cost; it may be a plain function or a
+        generator (it can issue MPL calls, as GA's request servers do).
+        """
+        self._check_live()
+        self.ctx.match.register_rcvncall(tag, handler)
+
+    # ------------------------------------------------------------------
+    # collectives (see collectives.py for the algorithms)
+    # ------------------------------------------------------------------
+    def barrier(self) -> Generator:
+        from .collectives import barrier
+        yield from barrier(self)
+
+    def bcast(self, data: Optional[bytes], root: int = 0) -> Generator:
+        from .collectives import bcast
+        result = yield from bcast(self, data, root)
+        return result
+
+    def reduce(self, values, op: Callable, root: int = 0) -> Generator:
+        from .collectives import reduce
+        result = yield from reduce(self, values, op, root)
+        return result
+
+    def allreduce(self, values, op: Callable) -> Generator:
+        from .collectives import allreduce
+        result = yield from allreduce(self, values, op)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "interrupt" if self.interrupt_mode else "polling"
+        return (f"<Mpl rank={self.rank}/{self.size} {mode}"
+                f" eager={self.eager_limit}>")

@@ -1,0 +1,264 @@
+"""The MPL/MPI receive-side protocol engine.
+
+Handles arriving packets for the two-sided stack: envelope admission in
+send order, matching against posted receives, early-arrival buffering
+(the "extra copy" of section 4), rendezvous handshakes, and ``rcvncall``
+handler dispatch with its AIX context-creation cost (section 5.2).
+
+Like the LAPI dispatcher it runs either on an interrupt-priority thread
+(interrupt mode) or inline from blocked MPL calls (polling mode), and it
+never blocks on flow control.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..errors import MplError
+from ..machine.cpu import HANDLER
+from .constants import MplPacketKind
+from .matching import MessageState, RecvRequest
+from .protocol import cts_packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.cpu import Thread
+    from ..machine.packet import Packet
+    from .api import Mpl
+
+__all__ = ["MplDispatcher"]
+
+
+class MplDispatcher:
+    """Receive-side engine of one MPL context."""
+
+    def __init__(self, mpl: "Mpl") -> None:
+        self.mpl = mpl
+        self.ctx = mpl.ctx
+        self.config = mpl.config
+
+    # ------------------------------------------------------------------
+    # entry points (same structure as the LAPI dispatcher)
+    # ------------------------------------------------------------------
+    def drain(self, thread: "Thread") -> Generator:
+        processed = 0
+        while True:
+            ok, pkt = self.mpl.client.rx.try_get()
+            if not ok:
+                break
+            yield from self.process(thread, pkt, amortized=processed > 0)
+            processed += 1
+        if processed:
+            self.ctx.progress_ws.notify_all()
+        return processed
+
+    def poll_step(self, thread: "Thread") -> Generator:
+        yield from thread.execute(self.config.poll_check_cost)
+        if self.mpl.client.pending > 0:
+            yield from self.drain(thread)
+            return
+        # Wake on a packet OR any progress signal (adapter-level acks
+        # complete send requests without a packet reaching the FIFO).
+        sim = thread.sim
+        getter = self.mpl.client.rx.get()
+        progress = self.ctx.progress_ws.wait()
+        yield from thread.wait(sim.any_of([getter, progress]))
+        if getter.triggered:
+            yield from self.process(thread, getter.value)
+            yield from self.drain(thread)
+            self.ctx.progress_ws.notify_all()
+        else:
+            self.mpl.client.rx.cancel_get(getter)
+
+    def interrupt_service(self, thread: "Thread") -> Generator:
+        from ..core.dispatcher import linger_loop
+        self.ctx.stats.interrupts_taken += 1
+        yield from thread.execute(self.config.interrupt_latency)
+        yield from self.drain(thread)
+        yield from linger_loop(self, thread)
+        self.mpl.client.arm_interrupt()
+
+    # ------------------------------------------------------------------
+    def process(self, thread: "Thread", pkt: "Packet",
+                amortized: bool = False) -> Generator:
+        ev = self.ctx.dispatch_lock.acquire(owner=thread)
+        if not ev.triggered:
+            yield from thread.wait(ev)
+        try:
+            yield from self._process_locked(thread, pkt, amortized)
+        finally:
+            self.ctx.dispatch_lock.release()
+
+    def _process_locked(self, thread: "Thread", pkt: "Packet",
+                        amortized: bool = False) -> Generator:
+        cfg = self.config
+        self.ctx.stats.packets_processed += 1
+        if pkt.kind == MplPacketKind.ACK:
+            yield from thread.execute(0.3)
+            self.mpl.transport.on_ack(pkt)
+            return
+        yield from thread.execute(cfg.mpl_pkt_recv_amortized if amortized
+                                  else cfg.mpl_pkt_recv_cost)
+        if not self.mpl.transport.on_packet(pkt):
+            return
+        kind = pkt.kind
+        if kind == MplPacketKind.DATA:
+            yield from self._data(thread, pkt)
+        elif kind == MplPacketKind.RTS:
+            yield from self._rts(thread, pkt)
+        elif kind == MplPacketKind.CTS:
+            self._cts(pkt)
+        else:
+            raise MplError(f"MPL dispatcher: unknown kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # message state helpers
+    # ------------------------------------------------------------------
+    def _state(self, src: int, msg_seq: int) -> MessageState:
+        key = (src, msg_seq)
+        msg = self.ctx.recv_msgs.get(key)
+        if msg is None:
+            msg = MessageState(src, msg_seq)
+            self.ctx.recv_msgs[key] = msg
+        return msg
+
+    def _admit_and_match(self, thread: "Thread",
+                         msg: MessageState) -> Generator:
+        """Run in-order envelope admission, then matching, for every
+        envelope the arrival unblocked."""
+        cfg = self.config
+        for env in self.ctx.match.admit_envelope(msg):
+            yield from thread.execute(cfg.mpl_match_cost)
+            req = self.ctx.match.match_arrival(env)
+            if req is not None:
+                yield from self._bind_flush(thread, env)
+                if env.is_rndv:
+                    self._send_cts(env)
+            elif env.rcvncall_fn is not None and env.is_rndv:
+                # rcvncall accepts rendezvous traffic into early storage.
+                self._send_cts(env)
+            yield from self._maybe_complete(thread, env)
+
+    def _send_cts(self, msg: MessageState) -> None:
+        self.mpl.transport.send_control(cts_packet(
+            self.config, self.ctx.rank, msg.src, msg.msg_seq))
+
+    def _bind_flush(self, thread: "Thread",
+                    msg: MessageState) -> Generator:
+        """Flush pre-envelope stash into the message's destination."""
+        for offset, payload in msg.stash:
+            yield from self._place(thread, msg, offset, payload)
+        msg.stash.clear()
+
+    def _place(self, thread: "Thread", msg: MessageState, offset: int,
+               payload: bytes) -> Generator:
+        """Copy one chunk to wherever this message currently lands."""
+        cfg = self.config
+        yield from thread.execute(cfg.copy_cost(len(payload)))
+        req = msg.recv_req
+        if req is not None and not msg.used_early:
+            # Direct path: one copy, straight to the receiver's buffer.
+            if req.addr is not None:
+                self.mpl.memory.write(req.addr + offset, payload)
+            else:
+                if req.sink is None:
+                    req.sink = bytearray(msg.total)
+                req.sink[offset:offset + len(payload)] = payload
+        else:
+            # Early-arrival path: assemble internally; the extra copy to
+            # the user happens at delivery.
+            if msg.early_buffer is None:
+                msg.early_buffer = bytearray(msg.total)
+            msg.early_buffer[offset:offset + len(payload)] = payload
+            msg.used_early = True
+            self.ctx.stats.early_arrival_bytes += len(payload)
+        msg.received += len(payload)
+        self.ctx.stats.bytes_received += len(payload)
+
+    def _maybe_complete(self, thread: "Thread",
+                        msg: MessageState) -> Generator:
+        if not msg.data_complete:
+            return
+        if msg.recv_req is not None:
+            yield from self.deliver(thread, msg)
+        elif msg.rcvncall_fn is not None:
+            self._spawn_rcvncall(msg)
+            del self.ctx.recv_msgs[(msg.src, msg.msg_seq)]
+        # else: unexpected and complete; waits for a receive to post.
+
+    def deliver(self, thread: "Thread", msg: MessageState) -> Generator:
+        """Final delivery of a complete, bound message."""
+        cfg = self.config
+        req = msg.recv_req
+        if msg.used_early:
+            # The extra copy: early-arrival buffer -> user destination.
+            yield from thread.execute(cfg.copy_cost(msg.total))
+            blob = bytes(msg.early_buffer[:msg.total])
+            if req.addr is not None:
+                self.mpl.memory.write(req.addr, blob)
+            else:
+                req.data = blob
+        elif req.addr is None:
+            req.data = bytes(req.sink[:msg.total]) if req.sink else b""
+        req.complete = True
+        self.ctx.recv_msgs.pop((msg.src, msg.msg_seq), None)
+        self.ctx.progress_ws.notify_all()
+
+    def _spawn_rcvncall(self, msg: MessageState) -> None:
+        """Run an MPL rcvncall handler: AIX creates a handler context
+        (expensive, section 5.2), then the user function executes."""
+        mpl = self.mpl
+        cfg = self.config
+        blob = bytes(msg.early_buffer[:msg.total]) if msg.early_buffer \
+            else b""
+        mpl.ctx.active_handlers += 1
+
+        def body(hthread):
+            try:
+                yield from hthread.execute(cfg.rcvncall_context_cost)
+                mpl.ctx.stats.rcvncalls_run += 1
+                result = msg.rcvncall_fn(mpl.task, msg.src, msg.tag, blob)
+                if result is not None and hasattr(result, "send"):
+                    yield from result
+            finally:
+                mpl.ctx.active_handlers -= 1
+            mpl.ctx.progress_ws.notify_all()
+
+        mpl.task.node.cpu.spawn(body, name=f"mpl{self.ctx.rank}.rcvncall",
+                                priority=HANDLER)
+
+    # ------------------------------------------------------------------
+    # packet kinds
+    # ------------------------------------------------------------------
+    def _data(self, thread: "Thread", pkt: "Packet") -> Generator:
+        msg = self._state(pkt.src, pkt.info["msg_seq"])
+        if pkt.info.get("is_first") and not msg.envelope_known:
+            # For rendezvous traffic the RTS already delivered the
+            # envelope; only admit it once.
+            msg.set_envelope(pkt.info["tag"], pkt.info["total"],
+                             pkt.info.get("is_rndv", False))
+            yield from self._admit_and_match(thread, msg)
+        payload = pkt.payload
+        if payload:
+            if msg.matched or msg.envelope_known:
+                yield from self._place(thread, msg, pkt.info["offset"],
+                                       payload)
+            else:
+                # Outran its own envelope: stash until it arrives.
+                yield from thread.execute(
+                    self.config.copy_cost(len(payload)))
+                msg.stash.append((pkt.info["offset"], payload))
+        yield from self._maybe_complete(thread, msg)
+
+    def _rts(self, thread: "Thread", pkt: "Packet") -> Generator:
+        msg = self._state(pkt.src, pkt.info["msg_seq"])
+        msg.set_envelope(pkt.info["tag"], pkt.info["total"], True)
+        yield from self._admit_and_match(thread, msg)
+
+    def _cts(self, pkt: "Packet") -> None:
+        req = self.ctx.rndv_waiting.pop((pkt.src, pkt.info["msg_seq"]),
+                                        None)
+        if req is None:
+            raise MplError(
+                f"rank {self.ctx.rank}: CTS for unknown rendezvous"
+                f" {pkt.info['msg_seq']}")
+        req.cts_event.succeed(None)

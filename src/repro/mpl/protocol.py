@@ -1,0 +1,70 @@
+"""MPL/MPI wire formats: eager data, rendezvous control.
+
+MPI headers are 16 bytes (section 4): two-sided matching means packets
+carry only (envelope, sequence, offset) -- the receiver's own state
+supplies buffer addresses.  The smaller header is why MPI's peak
+bandwidth edges out LAPI's; the matching state it implies is part of
+why everything below the peak is slower.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.config import MachineConfig
+    from ..machine.packet import Packet
+
+from .constants import MplPacketKind
+
+__all__ = ["data_packets", "rts_packet", "cts_packet", "PROTO"]
+
+#: Adapter demultiplexing key for the MPL stack.
+PROTO = "mpl"
+
+
+def _mk(src: int, dst: int, kind: str, header: int, payload: bytes,
+        info: dict) -> "Packet":
+    from ..machine.packet import Packet
+    return Packet(src=src, dst=dst, proto=PROTO, kind=kind,
+                  header_bytes=header, payload=payload, info=info)
+
+
+def data_packets(config: "MachineConfig", src: int, dst: int,
+                 msg_seq: int, tag: int, data: bytes,
+                 is_rndv: bool = False) -> list["Packet"]:
+    """Packets of one message's data stream (eager or post-CTS).
+
+    The first packet carries the envelope (tag, total, protocol); later
+    packets carry only sequence/offset, as real 16-byte headers would.
+    """
+    chunk = config.mpl_payload
+    total = len(data)
+    packets = []
+    offset = 0
+    while True:
+        part = data[offset:offset + chunk]
+        info = {"msg_seq": msg_seq, "offset": offset}
+        if offset == 0:
+            info.update(tag=tag, total=total, is_first=True,
+                        is_rndv=is_rndv)
+        packets.append(_mk(src, dst, MplPacketKind.DATA,
+                           config.mpl_header, bytes(part), info))
+        offset += len(part)
+        if offset >= total:
+            break
+    return packets
+
+
+def rts_packet(config: "MachineConfig", src: int, dst: int, msg_seq: int,
+               tag: int, total: int) -> "Packet":
+    """Rendezvous request-to-send: the envelope travels alone."""
+    return _mk(src, dst, MplPacketKind.RTS, config.mpl_header, b"",
+               {"msg_seq": msg_seq, "tag": tag, "total": total})
+
+
+def cts_packet(config: "MachineConfig", src: int, dst: int,
+               msg_seq: int) -> "Packet":
+    """Rendezvous clear-to-send: receiver is ready, sender may stream."""
+    return _mk(src, dst, MplPacketKind.CTS, config.mpl_header, b"",
+               {"msg_seq": msg_seq})

@@ -1,0 +1,190 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the pending-event heap.  All
+components of the SP machine model -- CPUs, adapters, switch links, the
+LAPI/MPL protocol engines -- are processes scheduled by one simulator
+instance, so a whole multi-node parallel machine runs deterministically
+inside a single Python process.
+
+Units
+-----
+Virtual time is measured in **microseconds** (float).  Bandwidths across
+the code base are expressed in bytes per microsecond, which conveniently
+equals MB/s (1e6 bytes / 1e6 us), the unit the paper plots.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from ..errors import DeadlockError, SimulationError
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGen
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event loop, virtual clock, and process registry.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`repro.sim.trace.Tracer` receiving kernel events.
+    """
+
+    def __init__(self, trace: Optional[Any] = None) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self._live_processes: set[Process] = set()
+        self.trace = trace
+        #: Count of events processed; useful for tests and runaway guards.
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # clock & factories
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None,
+                name: str = "") -> Timeout:
+        """Create an event that fires ``delay`` us from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Launch ``gen`` as a process; returns the process event."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # scheduling internals (used by Event/Timeout)
+    # ------------------------------------------------------------------
+    def _schedule_at(self, when: float, ev: Event) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before now={self._now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, ev))
+
+    def _enqueue_triggered(self, ev: Event) -> None:
+        """Queue an already-triggered event for callback processing."""
+        self._schedule_at(self._now, ev)
+
+    def _register_process(self, proc: Process) -> None:
+        self._live_processes.add(proc)
+
+    def _unregister_process(self, proc: Process) -> None:
+        self._live_processes.discard(proc)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process a single event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _, ev = heapq.heappop(self._heap)
+        self._now = when
+        if not ev.triggered:
+            # Only timeouts sit in the heap untriggered; their due time has
+            # arrived, so they trigger now with their held-aside payload.
+            ev._ok = True
+            ev._value = ev._pending_value
+        callbacks = ev.callbacks
+        ev.callbacks = None  # mark processed
+        self.events_processed += 1
+        if self.trace is not None:
+            self.trace.kernel_event(when, ev)
+        assert callbacks is not None, "event processed twice"
+        for cb in callbacks:
+            cb(ev)
+        # An event that failed with nobody listening would silently swallow
+        # the error; surface it so broken models crash loudly.
+        if ev._ok is False and not callbacks:
+            raise ev._value
+
+    def run(self, until: Optional[float] = None, *,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or the budget.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the clock is left at
+            ``until``).  ``None`` runs to queue exhaustion.
+        max_events:
+            Safety valve for runaway models; raises
+            :class:`SimulationError` when exceeded.
+
+        Returns
+        -------
+        float
+            The virtual time at which the run stopped.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return self._now
+            if budget <= 0:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (possible livelock)")
+            budget -= 1
+            self.step()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until_complete(self, proc: Process, *,
+                           max_events: Optional[int] = None) -> Any:
+        """Run until ``proc`` finishes; return its value or raise its error.
+
+        Raises :class:`DeadlockError` if the event queue drains while the
+        process is still alive (it is blocked on something that can never
+        happen).
+        """
+        while not proc.triggered:
+            if not self._heap:
+                waiting = sorted(p.name for p in self._live_processes)
+                raise DeadlockError(
+                    f"event queue drained but {proc.name!r} never finished;"
+                    f" live processes: {waiting[:20]}")
+            if max_events is not None:
+                if self.events_processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} waiting for"
+                        f" {proc.name!r}")
+            self.step()
+        if proc._ok:
+            return proc._value
+        raise proc._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Simulator t={self._now:.3f}us pending={len(self._heap)}"
+                f" live={len(self._live_processes)}>")

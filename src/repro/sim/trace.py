@@ -1,0 +1,78 @@
+"""Lightweight structured tracing for simulations.
+
+A :class:`Tracer` collects ``(time, source, category, message)`` records.
+It exists for debugging protocol interactions (e.g. watching a LAPI
+multi-packet message reassemble out of order) and for tests that assert on
+event sequences.  Tracing is off by default and costs nothing when
+disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry, in virtual microseconds."""
+
+    time: float
+    source: str
+    category: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.3f}us] {self.source:<18s} {self.category:<10s} {self.message}"
+
+
+class Tracer:
+    """Collects trace records, optionally filtered by category.
+
+    Parameters
+    ----------
+    categories:
+        If given, only these categories are recorded.
+    echo:
+        When True, records are printed as they arrive (debugging aid).
+    limit:
+        Hard cap on stored records to bound memory in long runs.
+    """
+
+    def __init__(self, categories: Optional[Iterable[str]] = None,
+                 echo: bool = False, limit: int = 1_000_000) -> None:
+        self.records: list[TraceRecord] = []
+        self.categories = frozenset(categories) if categories else None
+        self.echo = echo
+        self.limit = limit
+        self.suppressed = 0
+
+    def log(self, time: float, source: str, category: str,
+            message: str) -> None:
+        """Record one entry (subject to category filter and cap)."""
+        if self.categories is not None and category not in self.categories:
+            return
+        if len(self.records) >= self.limit:
+            self.suppressed += 1
+            return
+        rec = TraceRecord(time, source, category, message)
+        self.records.append(rec)
+        if self.echo:  # pragma: no cover - interactive aid
+            print(rec)
+
+    def kernel_event(self, time: float, event: Any) -> None:
+        """Hook invoked by the kernel for every processed event."""
+        self.log(time, "kernel", "event", repr(event))
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """All records of one category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.suppressed = 0
+
+    def __len__(self) -> int:
+        return len(self.records)

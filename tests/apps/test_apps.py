@@ -1,0 +1,186 @@
+"""Integration tests for the application kernels on both GA backends."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ga_matmul, ga_transpose, md_step_loop, scf_iteration
+from repro.machine import Cluster
+
+
+def run_app(fn, nnodes=4, backend="lapi", seed=1):
+    cluster = Cluster(nnodes=nnodes, seed=seed)
+    return cluster.run_job(fn, ga_backend=backend)
+
+
+@pytest.fixture(params=["lapi", "mpl"])
+def backend(request):
+    return request.param
+
+
+class TestMatmul:
+    def _driver(self, n=24, k=20, m=28):
+        def main(task):
+            ga = task.ga
+            a_h = yield from ga.create((n, k), name="A")
+            b_h = yield from ga.create((k, m), name="B")
+            c_h = yield from ga.create((n, m), name="C")
+            rng = np.random.default_rng(42)
+            a_ref = rng.random((n, k))
+            b_ref = rng.random((k, m))
+            if task.rank == 0:
+                yield from ga.put_ndarray(a_h, (0, n - 1, 0, k - 1),
+                                          a_ref)
+                yield from ga.put_ndarray(b_h, (0, k - 1, 0, m - 1),
+                                          b_ref)
+            yield from ga.sync()
+            elapsed = yield from ga_matmul(task, a_h, b_h, c_h,
+                                           kblock=8)
+            got = yield from ga.get_ndarray(c_h, (0, n - 1, 0, m - 1))
+            yield from ga.sync()
+            return np.allclose(got, a_ref @ b_ref), elapsed
+        return main
+
+    def test_matmul_matches_numpy(self, backend):
+        results = run_app(self._driver(), backend=backend)
+        assert all(ok for ok, _ in results)
+        assert all(t > 0 for _, t in results)
+
+    def test_matmul_shape_mismatch(self, backend):
+        def main(task):
+            ga = task.ga
+            a_h = yield from ga.create((8, 8))
+            b_h = yield from ga.create((9, 8))
+            c_h = yield from ga.create((8, 8))
+            yield from ga.sync()
+            try:
+                yield from ga_matmul(task, a_h, b_h, c_h)
+            except ValueError:
+                yield from ga.sync()
+                return "rejected"
+
+        assert run_app(main, backend=backend)[0] == "rejected"
+
+
+class TestTranspose:
+    def test_transpose_correct(self, backend):
+        n, m = 24, 36
+
+        def main(task):
+            ga = task.ga
+            a_h = yield from ga.create((n, m), name="A")
+            b_h = yield from ga.create((m, n), name="B")
+            rng = np.random.default_rng(3)
+            a_ref = rng.random((n, m))
+            if task.rank == 0:
+                yield from ga.put_ndarray(a_h, (0, n - 1, 0, m - 1),
+                                          a_ref)
+            yield from ga.sync()
+            yield from ga_transpose(task, a_h, b_h)
+            got = yield from ga.get_ndarray(b_h, (0, m - 1, 0, n - 1))
+            yield from ga.sync()
+            return np.array_equal(got, a_ref.T)
+
+        assert all(run_app(main, backend=backend))
+
+    def test_transpose_shape_check(self, backend):
+        def main(task):
+            ga = task.ga
+            a_h = yield from ga.create((8, 12))
+            b_h = yield from ga.create((8, 12))
+            yield from ga.sync()
+            try:
+                yield from ga_transpose(task, a_h, b_h)
+            except ValueError:
+                yield from ga.sync()
+                return "rejected"
+
+        assert run_app(main, backend=backend)[0] == "rejected"
+
+
+class TestScf:
+    def test_scf_runs_and_agrees_across_ranks(self, backend):
+        def main(task):
+            out = yield from scf_iteration(task, nbf=32, patch=8,
+                                           iterations=1)
+            return out
+
+        results = run_app(main, backend=backend)
+        checksums = {round(r["checksum"], 9) for r in results}
+        assert len(checksums) == 1  # all ranks see the same F
+        # Dynamic load balancing: all work items processed exactly once.
+        assert sum(r["items"] for r in results) == 16
+
+    def test_scf_backends_agree_numerically(self):
+        def main(task):
+            out = yield from scf_iteration(task, nbf=32, patch=8,
+                                           iterations=2)
+            return out["checksum"]
+
+        lapi = run_app(main, backend="lapi")[0]
+        mpl = run_app(main, backend="mpl")[0]
+        assert lapi == pytest.approx(mpl, rel=1e-12)
+
+    def test_scf_patch_must_divide(self):
+        def main(task):
+            try:
+                yield from scf_iteration(task, nbf=30, patch=8)
+            except ValueError:
+                return "rejected"
+
+        assert run_app(main, nnodes=1)[0] == "rejected"
+
+
+class TestMd:
+    def test_md_runs_and_agrees(self, backend):
+        def main(task):
+            out = yield from md_step_loop(task, natoms=64, steps=2)
+            return out
+
+        results = run_app(main, backend=backend)
+        checksums = {round(r["checksum"], 9) for r in results}
+        assert len(checksums) == 1
+        assert all(r["elapsed_us"] > 0 for r in results)
+
+    def test_md_backends_agree_numerically(self):
+        def main(task):
+            out = yield from md_step_loop(task, natoms=64, steps=2)
+            return out["checksum"]
+
+        lapi = run_app(main, backend="lapi")[0]
+        mpl = run_app(main, backend="mpl")[0]
+        assert lapi == pytest.approx(mpl, rel=1e-12)
+
+
+class TestLapiFasterThanMpl:
+    """Section 5.4's qualitative claim, as a test: the LAPI versions of
+    the kernels are faster than the MPL versions."""
+
+    def _elapsed(self, fn, backend):
+        results = run_app(fn, backend=backend)
+        return max(r if isinstance(r, float) else r["elapsed_us"]
+                   for r in results)
+
+    def test_transpose_lapi_wins(self):
+        n = 64
+
+        def main(task):
+            ga = task.ga
+            a_h = yield from ga.create((n, n))
+            b_h = yield from ga.create((n, n))
+            yield from ga.zero(a_h)
+            yield from ga.sync()
+            elapsed = yield from ga_transpose(task, a_h, b_h)
+            return elapsed
+
+        lapi = self._elapsed(main, "lapi")
+        mpl = self._elapsed(main, "mpl")
+        assert lapi < mpl, (lapi, mpl)
+
+    def test_scf_lapi_wins(self):
+        def main(task):
+            out = yield from scf_iteration(task, nbf=32, patch=8)
+            return out
+
+        lapi = self._elapsed(main, "lapi")
+        mpl = self._elapsed(main, "mpl")
+        assert lapi < mpl, (lapi, mpl)

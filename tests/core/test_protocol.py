@@ -1,0 +1,133 @@
+"""Unit + property tests for LAPI packetization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constants import PacketKind
+from repro.core.protocol import (am_packets, control_packet,
+                                 get_reply_packets, put_packets)
+from repro.errors import LapiError
+from repro.machine.config import SP_1998
+
+
+class TestPutPackets:
+    def test_empty_put_sends_one_packet(self):
+        pkts = put_packets(SP_1998, 0, 1, 7, b"", 100, None, None)
+        assert len(pkts) == 1
+        assert pkts[0].payload == b""
+        assert pkts[0].info["total"] == 0
+
+    def test_single_packet_put(self):
+        pkts = put_packets(SP_1998, 0, 1, 7, b"x" * 100, 100, 3, 4)
+        assert len(pkts) == 1
+        p = pkts[0]
+        assert p.info["tgt_addr"] == 100
+        assert p.info["tgt_cntr_id"] == 3
+        assert p.info["cmpl_cntr_id"] == 4
+        assert p.header_bytes == SP_1998.lapi_header
+
+    def test_multi_packet_split(self):
+        n = SP_1998.lapi_payload * 3 + 10
+        pkts = put_packets(SP_1998, 0, 1, 7, b"a" * n, 0, None, None)
+        assert len(pkts) == 4
+        assert sum(len(p.payload) for p in pkts) == n
+        offsets = [p.info["offset"] for p in pkts]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0
+
+    def test_every_packet_self_describing(self):
+        # One-sided semantics: any packet alone carries enough to place
+        # its bytes (this is what the 48-byte header pays for).
+        n = SP_1998.lapi_payload * 2 + 5
+        for p in put_packets(SP_1998, 0, 1, 9, b"b" * n, 555, 1, None):
+            assert p.info["tgt_addr"] == 555
+            assert p.info["total"] == n
+            assert "offset" in p.info
+
+    def test_all_packets_fit_wire(self):
+        n = SP_1998.lapi_payload * 2 + 5
+        for p in put_packets(SP_1998, 0, 1, 9, b"c" * n, 0, None, None):
+            p.validate(SP_1998.packet_size)
+
+    @given(st.integers(min_value=0, max_value=5 * SP_1998.lapi_payload))
+    def test_reassembly_roundtrip(self, n):
+        data = bytes(i % 251 for i in range(n))
+        pkts = put_packets(SP_1998, 0, 1, 1, data, 0, None, None)
+        buf = bytearray(n)
+        for p in pkts:
+            off = p.info["offset"]
+            buf[off:off + len(p.payload)] = p.payload
+        assert bytes(buf) == data
+
+
+class TestAmPackets:
+    def test_uhdr_rides_first_packet(self):
+        pkts = am_packets(SP_1998, 0, 1, 3, 0, b"H" * 40, b"d" * 10,
+                          None, None)
+        assert len(pkts) == 1
+        p = pkts[0]
+        assert p.info["is_first"]
+        assert p.info["uhdr"] == b"H" * 40
+        assert p.header_bytes == SP_1998.lapi_header + 40
+
+    def test_uhdr_too_large_rejected(self):
+        big = b"x" * (SP_1998.lapi_uhdr_max + 1)
+        with pytest.raises(LapiError, match="uhdr"):
+            am_packets(SP_1998, 0, 1, 3, 0, big, b"", None, None)
+
+    def test_first_packet_room_shrinks_with_uhdr(self):
+        uhdr = b"u" * 100
+        data = b"d" * SP_1998.packet_size  # forces a split
+        pkts = am_packets(SP_1998, 0, 1, 3, 0, uhdr, data, None, None)
+        first_room = SP_1998.packet_size - SP_1998.lapi_header - 100
+        assert len(pkts[0].payload) == first_room
+        assert not pkts[1].info["is_first"]
+        assert "uhdr" not in pkts[1].info
+
+    def test_dataless_am_single_packet(self):
+        pkts = am_packets(SP_1998, 0, 1, 3, 2, b"req", b"", None, None)
+        assert len(pkts) == 1
+        assert pkts[0].payload == b""
+        assert pkts[0].info["handler_id"] == 2
+
+    def test_am_payload_900ish_fits_one_packet(self):
+        # Section 5.3.1: GA sends ~900-byte chunks in single AMs.
+        data = b"z" * SP_1998.am_uhdr_payload
+        uhdr = b"u" * SP_1998.lapi_uhdr_max
+        pkts = am_packets(SP_1998, 0, 1, 3, 0, uhdr, data, None, None)
+        assert len(pkts) == 1
+        pkts[0].validate(SP_1998.packet_size)
+
+    @given(st.integers(min_value=0, max_value=3 * SP_1998.lapi_payload),
+           st.integers(min_value=0, max_value=SP_1998.lapi_uhdr_max))
+    def test_am_reassembly_roundtrip(self, n, uh):
+        data = bytes(i % 249 for i in range(n))
+        pkts = am_packets(SP_1998, 0, 1, 1, 0, b"h" * uh, data,
+                          None, None)
+        buf = bytearray(n)
+        for p in pkts:
+            p.validate(SP_1998.packet_size)
+            off = p.info["offset"]
+            buf[off:off + len(p.payload)] = p.payload
+        assert bytes(buf) == data
+
+
+class TestGetReplyAndControl:
+    def test_get_reply_roundtrip(self):
+        n = SP_1998.lapi_payload + 17
+        data = bytes(range(256)) * (n // 256 + 1)
+        data = data[:n]
+        pkts = get_reply_packets(SP_1998, 1, 0, 5, data)
+        assert len(pkts) == 2
+        assert all(p.info["mtype"] == PacketKind.MSG_GET_REP for p in pkts)
+
+    def test_control_packet_kinds(self):
+        p = control_packet(SP_1998, 0, 1, PacketKind.CMPL, cntr_id=4)
+        assert p.kind == PacketKind.CMPL
+        assert p.info["cntr_id"] == 4
+        assert p.payload == b""
+
+    def test_control_rejects_data_kind(self):
+        with pytest.raises(LapiError):
+            control_packet(SP_1998, 0, 1, PacketKind.DATA)

@@ -1,0 +1,191 @@
+"""Integration tests: LAPI_Rmw atomic operations."""
+
+import pytest
+
+from repro.core import RmwOp
+from repro.errors import LapiError
+
+from .conftest import run_spmd
+
+
+def _word_setup(task, init=0):
+    """Allocate the shared word symmetrically; initialize at rank 0."""
+    addr = task.memory.malloc(8)
+    task.memory.write_i64(addr, init)
+    return addr
+
+
+class TestOps:
+    def test_fetch_and_add(self, progress_mode):
+        def main(task):
+            lapi = task.lapi
+            addr = _word_setup(task, init=100)
+            yield from lapi.gfence()
+            if task.rank == 0:
+                prev = yield from lapi.rmw_sync(RmwOp.FETCH_AND_ADD, 1,
+                                                addr, 7)
+                yield from lapi.gfence()
+                return prev
+            yield from lapi.gfence()
+            return task.memory.read_i64(addr)
+
+        results = run_spmd(main, interrupt_mode=progress_mode)
+        assert results[0] == 100
+        assert results[1] == 107
+
+    def test_swap(self):
+        def main(task):
+            lapi = task.lapi
+            addr = _word_setup(task, init=5)
+            yield from lapi.gfence()
+            if task.rank == 0:
+                prev = yield from lapi.rmw_sync(RmwOp.SWAP, 1, addr, 42)
+                yield from lapi.gfence()
+                return prev
+            yield from lapi.gfence()
+            return task.memory.read_i64(addr)
+
+        results = run_spmd(main)
+        assert results == [5, 42]
+
+    def test_compare_and_swap_success_and_failure(self):
+        def main(task):
+            lapi = task.lapi
+            addr = _word_setup(task, init=10)
+            yield from lapi.gfence()
+            if task.rank == 0:
+                p1 = yield from lapi.rmw_sync(RmwOp.COMPARE_AND_SWAP, 1,
+                                              addr, 11, cmp_val=10)
+                p2 = yield from lapi.rmw_sync(RmwOp.COMPARE_AND_SWAP, 1,
+                                              addr, 99, cmp_val=10)
+                yield from lapi.gfence()
+                return p1, p2
+            yield from lapi.gfence()
+            return task.memory.read_i64(addr)
+
+        results = run_spmd(main)
+        assert results[0] == (10, 11)  # second CAS saw 11, failed
+        assert results[1] == 11
+
+    def test_fetch_and_or(self):
+        def main(task):
+            lapi = task.lapi
+            addr = _word_setup(task, init=0b0101)
+            yield from lapi.gfence()
+            if task.rank == 0:
+                prev = yield from lapi.rmw_sync(RmwOp.FETCH_AND_OR, 1,
+                                                addr, 0b0010)
+                yield from lapi.gfence()
+                return prev
+            yield from lapi.gfence()
+            return task.memory.read_i64(addr)
+
+        results = run_spmd(main)
+        assert results == [0b0101, 0b0111]
+
+    def test_cas_requires_cmp_val(self):
+        def main(task):
+            lapi = task.lapi
+            addr = _word_setup(task)
+            try:
+                yield from lapi.rmw(RmwOp.COMPARE_AND_SWAP, task.rank,
+                                    addr, 1)
+            except LapiError:
+                return "rejected"
+
+        assert run_spmd(main, nnodes=1)[0] == "rejected"
+
+    def test_cmp_val_only_for_cas(self):
+        def main(task):
+            lapi = task.lapi
+            addr = _word_setup(task)
+            try:
+                yield from lapi.rmw(RmwOp.SWAP, task.rank, addr, 1,
+                                    cmp_val=0)
+            except LapiError:
+                return "rejected"
+
+        assert run_spmd(main, nnodes=1)[0] == "rejected"
+
+    def test_local_rmw_fast_path(self):
+        def main(task):
+            lapi = task.lapi
+            addr = _word_setup(task, init=3)
+            prev = yield from lapi.rmw_sync(RmwOp.FETCH_AND_ADD,
+                                            task.rank, addr, 4)
+            return prev, task.memory.read_i64(addr)
+
+        assert run_spmd(main, nnodes=1)[0] == (3, 7)
+
+    def test_prev_addr_receives_old_value(self):
+        def main(task):
+            lapi = task.lapi
+            addr = _word_setup(task, init=55)
+            prev_slot = task.memory.malloc(8)
+            yield from lapi.gfence()
+            if task.rank == 0:
+                org = lapi.counter()
+                yield from lapi.rmw(RmwOp.SWAP, 1, addr, 66,
+                                    prev_addr=prev_slot, org_cntr=org)
+                yield from lapi.waitcntr(org, 1)
+                yield from lapi.gfence()
+                return task.memory.read_i64(prev_slot)
+            yield from lapi.gfence()
+
+        assert run_spmd(main)[0] == 55
+
+
+class TestAtomicity:
+    def test_fetch_and_add_is_atomic_under_contention(self, progress_mode):
+        """Every rank increments the same remote word; no update lost --
+        the mutual-exclusion use case of section 2.4."""
+        per_rank = 10
+
+        def main(task):
+            lapi = task.lapi
+            addr = _word_setup(task, init=0)
+            yield from lapi.gfence()
+            got = []
+            if task.rank != 0:
+                for _ in range(per_rank):
+                    prev = yield from lapi.rmw_sync(RmwOp.FETCH_AND_ADD,
+                                                    0, addr, 1)
+                    got.append(prev)
+            yield from lapi.gfence()
+            if task.rank == 0:
+                return task.memory.read_i64(addr)
+            return got
+
+        results = run_spmd(main, nnodes=4, interrupt_mode=progress_mode)
+        assert results[0] == 3 * per_rank
+        # Fetched values are all distinct: true read-modify-write.
+        fetched = [v for r in results[1:] for v in r]
+        assert sorted(fetched) == list(range(3 * per_rank))
+
+    def test_spinlock_via_cas(self):
+        """A lock built from COMPARE_AND_SWAP + SWAP mutually excludes."""
+        def main(task):
+            lapi = task.lapi
+            lock_addr = _word_setup(task, init=0)
+            shared = task.memory.malloc(8)
+            task.memory.write_i64(shared, 0)
+            yield from lapi.gfence()
+            for _ in range(5):
+                while True:
+                    prev = yield from lapi.rmw_sync(
+                        RmwOp.COMPARE_AND_SWAP, 0, lock_addr, 1,
+                        cmp_val=0)
+                    if prev == 0:
+                        break
+                # Critical section: non-atomic read-modify-write of the
+                # shared word, safe only under the lock.
+                v = yield from lapi.rmw_sync(RmwOp.FETCH_AND_ADD, 0,
+                                             shared, 0)
+                yield from lapi.rmw_sync(RmwOp.SWAP, 0, shared, v + 1)
+                # Release.
+                yield from lapi.rmw_sync(RmwOp.SWAP, 0, lock_addr, 0)
+            yield from lapi.gfence()
+            if task.rank == 0:
+                return task.memory.read_i64(shared)
+
+        assert run_spmd(main, nnodes=3)[0] == 15

@@ -1,0 +1,19 @@
+"""Shared fixtures for Global Arrays tests."""
+
+import pytest
+
+from repro.machine import Cluster
+from repro.machine.config import SP_1998
+
+
+def run_ga(fn, nnodes=4, *, backend="lapi", config=SP_1998, seed=1,
+           **kw):
+    """Run an SPMD job with GA initialized on ``backend``."""
+    cluster = Cluster(nnodes=nnodes, config=config, seed=seed)
+    return cluster.run_job(fn, ga_backend=backend, **kw)
+
+
+@pytest.fixture(params=["lapi", "mpl"])
+def backend(request):
+    """Run the decorated test on both GA backends."""
+    return request.param

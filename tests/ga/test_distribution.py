@@ -1,0 +1,139 @@
+"""Unit + property tests for GA block distribution."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GaError
+from repro.ga import BlockDistribution, Section, process_grid
+
+
+class TestProcessGrid:
+    def test_square_counts(self):
+        assert process_grid(4, (100, 100)) == (2, 2)
+        assert process_grid(16, (100, 100)) == (4, 4)
+
+    def test_prime_count(self):
+        pr, pc = process_grid(7, (100, 100))
+        assert pr * pc == 7
+
+    def test_single_task(self):
+        assert process_grid(1, (10, 10)) == (1, 1)
+
+    def test_tall_array_prefers_row_split(self):
+        pr, pc = process_grid(4, (1000, 10))
+        assert pr >= pc
+
+    def test_wide_array_prefers_col_split(self):
+        pr, pc = process_grid(4, (10, 1000))
+        assert pc >= pr
+
+    def test_oversubscribed_array_gets_empty_blocks(self):
+        # More tasks than elements: excess ranks own nothing (this is
+        # how tiny shared-counter arrays distribute).
+        dist = BlockDistribution.create((1, 1), 4)
+        blocks = [dist.block(r) for r in range(4)]
+        assert sum(1 for b in blocks if b is not None) == 1
+        assert dist.owner_of(0, 0) in range(4)
+        assert sum(b.size for b in blocks if b is not None) == 1
+
+    def test_invalid_count(self):
+        with pytest.raises(GaError):
+            process_grid(0, (10, 10))
+
+
+class TestBlocks:
+    def test_blocks_partition_array(self):
+        dist = BlockDistribution.create((10, 12), 4)
+        seen = set()
+        for rank, block in dist.blocks():
+            for i in range(block.ilo, block.ihi + 1):
+                for j in range(block.jlo, block.jhi + 1):
+                    assert (i, j) not in seen
+                    seen.add((i, j))
+        assert len(seen) == 120
+
+    def test_owner_of_agrees_with_blocks(self):
+        dist = BlockDistribution.create((9, 7), 4)
+        for rank, block in dist.blocks():
+            assert dist.owner_of(block.ilo, block.jlo) == rank
+            assert dist.owner_of(block.ihi, block.jhi) == rank
+
+    def test_owner_out_of_range(self):
+        dist = BlockDistribution.create((4, 4), 2)
+        with pytest.raises(GaError):
+            dist.owner_of(4, 0)
+
+    def test_locate_covers_section_exactly(self):
+        dist = BlockDistribution.create((20, 20), 4)
+        sec = Section(3, 16, 2, 18)
+        pieces = dist.locate(sec)
+        total = sum(p.size for _, p in pieces)
+        assert total == sec.size
+        for _, p in pieces:
+            assert sec.contains(p)
+
+    def test_locate_single_owner(self):
+        dist = BlockDistribution.create((20, 20), 4)
+        block0 = dist.block(0)
+        inner = Section(block0.ilo, block0.ilo + 1, block0.jlo,
+                        block0.jlo + 1)
+        pieces = dist.locate(inner)
+        assert pieces == [(0, inner)]
+
+    def test_locate_out_of_range(self):
+        dist = BlockDistribution.create((10, 10), 2)
+        with pytest.raises(GaError):
+            dist.locate(Section(0, 10, 0, 5))
+
+    def test_rank_coords_roundtrip(self):
+        dist = BlockDistribution.create((16, 16), 8)
+        for rank in range(8):
+            pi, pj = dist.coords(rank)
+            assert dist.rank_of(pi, pj) == rank
+
+
+class TestProperties:
+    @given(st.integers(1, 12), st.integers(4, 50), st.integers(4, 50))
+    def test_partition_complete_and_disjoint(self, ntasks, n, m):
+        try:
+            dist = BlockDistribution.create((n, m), ntasks)
+        except GaError:
+            return  # undistributable combination
+        counted = 0
+        for rank in range(dist.ntasks):
+            block = dist.block(rank)
+            if block is not None:
+                counted += block.size
+        assert counted == n * m
+
+    @given(st.integers(1, 12), st.integers(4, 40), st.integers(4, 40),
+           st.data())
+    def test_owner_of_consistent_with_block(self, ntasks, n, m, data):
+        try:
+            dist = BlockDistribution.create((n, m), ntasks)
+        except GaError:
+            return
+        i = data.draw(st.integers(0, n - 1))
+        j = data.draw(st.integers(0, m - 1))
+        owner = dist.owner_of(i, j)
+        assert dist.block(owner).contains_point(i, j)
+
+    @given(st.integers(1, 8), st.data())
+    def test_locate_is_exact_cover(self, ntasks, data):
+        n, m = 24, 24
+        try:
+            dist = BlockDistribution.create((n, m), ntasks)
+        except GaError:
+            return
+        ilo = data.draw(st.integers(0, n - 1))
+        ihi = data.draw(st.integers(ilo, n - 1))
+        jlo = data.draw(st.integers(0, m - 1))
+        jhi = data.draw(st.integers(jlo, m - 1))
+        sec = Section(ilo, ihi, jlo, jhi)
+        pieces = dist.locate(sec)
+        # Exact cover: sizes add up and pieces are pairwise disjoint.
+        assert sum(p.size for _, p in pieces) == sec.size
+        for a in range(len(pieces)):
+            for b in range(a + 1, len(pieces)):
+                assert not pieces[a][1].overlaps(pieces[b][1])

@@ -1,0 +1,175 @@
+"""Tests for GA's whole-array collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GaError
+
+from .conftest import run_ga
+
+
+def _filled(ga, dims, value):
+    """Create an array and fill it (collective); returns the handle."""
+    h = yield from ga.create(dims)
+    yield from ga.fill(h, value)
+    yield from ga.sync()
+    return h
+
+
+class TestScale:
+    def test_scale_all_blocks(self, backend):
+        def main(task):
+            ga = task.ga
+            h = yield from _filled(ga, (24, 24), 2.0)
+            yield from ga.scale(h, 2.5)
+            got = yield from ga.get_ndarray(h, (0, 23, 0, 23))
+            yield from ga.sync()
+            return bool(np.all(got == 5.0))
+
+        assert all(run_ga(main, backend=backend))
+
+    def test_scale_by_zero(self, backend):
+        def main(task):
+            ga = task.ga
+            h = yield from _filled(ga, (8, 8), 3.0)
+            yield from ga.scale(h, 0.0)
+            got = yield from ga.get_ndarray(h, (0, 7, 0, 7))
+            yield from ga.sync()
+            return bool(np.all(got == 0.0))
+
+        assert all(run_ga(main, backend=backend))
+
+
+class TestAddCopy:
+    def test_add_linear_combination(self, backend):
+        def main(task):
+            ga = task.ga
+            a = yield from _filled(ga, (16, 16), 1.0)
+            b = yield from _filled(ga, (16, 16), 10.0)
+            c = yield from _filled(ga, (16, 16), 0.0)
+            yield from ga.add(c, a, b, alpha=2.0, beta=0.5)
+            got = yield from ga.get_ndarray(c, (0, 15, 0, 15))
+            yield from ga.sync()
+            return bool(np.all(got == 7.0))
+
+        assert all(run_ga(main, backend=backend))
+
+    def test_add_in_place(self, backend):
+        """C may alias A (common GA usage: A = A + B)."""
+        def main(task):
+            ga = task.ga
+            a = yield from _filled(ga, (12, 12), 4.0)
+            b = yield from _filled(ga, (12, 12), 1.0)
+            yield from ga.add(a, a, b)
+            got = yield from ga.get_ndarray(a, (0, 11, 0, 11))
+            yield from ga.sync()
+            return bool(np.all(got == 5.0))
+
+        assert all(run_ga(main, backend=backend))
+
+    def test_misaligned_rejected(self, backend):
+        def main(task):
+            ga = task.ga
+            a = yield from _filled(ga, (8, 8), 1.0)
+            b = yield from _filled(ga, (8, 9), 1.0)
+            try:
+                yield from ga.add(a, a, b)
+            except GaError:
+                yield from ga.sync()
+                return "rejected"
+
+        assert run_ga(main, backend=backend)[0] == "rejected"
+
+    def test_copy(self, backend):
+        def main(task):
+            ga = task.ga
+            a = yield from _filled(ga, (10, 14), 6.5)
+            b = yield from _filled(ga, (10, 14), 0.0)
+            yield from ga.copy_array(a, b)
+            got = yield from ga.get_ndarray(b, (0, 9, 0, 13))
+            yield from ga.sync()
+            return bool(np.all(got == 6.5))
+
+        assert all(run_ga(main, backend=backend))
+
+
+class TestDot:
+    def test_dot_value(self, backend):
+        def main(task):
+            ga = task.ga
+            a = yield from _filled(ga, (16, 16), 2.0)
+            b = yield from _filled(ga, (16, 16), 3.0)
+            value = yield from ga.dot(a, b)
+            yield from ga.sync()
+            return value
+
+        results = run_ga(main, backend=backend)
+        assert all(r == pytest.approx(16 * 16 * 6.0) for r in results)
+
+    def test_dot_agrees_on_all_ranks(self, backend):
+        def main(task):
+            ga = task.ga
+            a = yield from ga.create((12, 12))
+            view = ga.access(a)
+            block = ga.distribution(a)
+            view[...] = float(task.rank + 1)
+            yield from ga.sync()
+            value = yield from ga.dot(a, a)
+            yield from ga.sync()
+            return round(value, 9)
+
+        results = run_ga(main, backend=backend)
+        assert len(set(results)) == 1
+
+    def test_dot_matches_numpy(self):
+        rng = np.random.default_rng(5)
+        data = rng.random((20, 20))
+
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((20, 20))
+            if task.rank == 0:
+                yield from ga.put_ndarray(h, (0, 19, 0, 19), data)
+            yield from ga.sync()
+            value = yield from ga.dot(h, h)
+            yield from ga.sync()
+            return value
+
+        results = run_ga(main)
+        assert results[0] == pytest.approx(float(np.sum(data * data)))
+
+
+class TestSymmetrize:
+    def test_symmetrize_square(self, backend):
+        rng = np.random.default_rng(9)
+        data = rng.random((16, 16))
+
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((16, 16))
+            if task.rank == 0:
+                yield from ga.put_ndarray(h, (0, 15, 0, 15), data)
+            yield from ga.sync()
+            yield from ga.symmetrize(h)
+            got = yield from ga.get_ndarray(h, (0, 15, 0, 15))
+            yield from ga.sync()
+            return got
+
+        results = run_ga(main, backend=backend)
+        expect = 0.5 * (data + data.T)
+        for got in results:
+            assert np.allclose(got, expect)
+            assert np.allclose(got, got.T)  # actually symmetric
+
+    def test_symmetrize_rectangular_rejected(self, backend):
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((8, 10))
+            yield from ga.sync()
+            try:
+                yield from ga.symmetrize(h)
+            except GaError:
+                yield from ga.sync()
+                return "rejected"
+
+        assert run_ga(main, backend=backend)[0] == "rejected"

@@ -1,0 +1,194 @@
+"""Tests for ghost-cell arrays (GA_Create_ghosts / GA_Update_ghosts)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GaError
+
+from .conftest import run_ga
+
+
+def _global_fill(ga, h, n, m):
+    """Fill A[i, j] = 100*i + j through local interior views."""
+    arr = ga.array(h)
+    block = arr.local_block
+    if block is not None:
+        view = ga.access(h)
+        ii = np.arange(block.ilo, block.ihi + 1)[:, None]
+        jj = np.arange(block.jlo, block.jhi + 1)[None, :]
+        view[...] = 100.0 * ii + jj
+
+
+class TestCreateGhosts:
+    def test_interior_and_ghost_views(self, backend):
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((16, 16), ghost_width=2)
+            block = ga.array(h).local_block
+            interior = ga.access(h)
+            padded = ga.access_ghosts(h)
+            yield from ga.sync()
+            return (interior.shape, padded.shape,
+                    (block.rows, block.cols))
+
+        for interior, padded, block in run_ga(main, backend=backend):
+            assert interior == block
+            assert padded == (block[0] + 4, block[1] + 4)
+
+    def test_interior_view_aliases_padded(self, backend):
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((8, 8), ghost_width=1)
+            ga.access(h)[0, 0] = 42.0
+            padded = ga.access_ghosts(h)
+            yield from ga.sync()
+            return float(padded[1, 1])
+
+        assert run_ga(main, backend=backend) == [42.0] * 4
+
+    def test_negative_width_rejected(self, backend):
+        def main(task):
+            try:
+                yield from task.ga.create((8, 8), ghost_width=-1)
+            except GaError:
+                return "rejected"
+
+        assert run_ga(main, backend=backend)[0] == "rejected"
+
+    def test_ghost_view_without_ghosts_rejected(self, backend):
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((8, 8))
+            yield from ga.sync()
+            try:
+                ga.access_ghosts(h)
+            except GaError:
+                return "rejected"
+
+        assert run_ga(main, backend=backend)[0] == "rejected"
+
+
+class TestRemoteOpsOnGhostArrays:
+    def test_put_get_respect_padding(self, backend):
+        """One-sided put/get into a ghost array land in the interior,
+        never in the halo (the padded address arithmetic)."""
+        data = np.arange(10 * 10, dtype=np.float64).reshape(10, 10)
+
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((20, 20), ghost_width=2)
+            yield from ga.zero(h)
+            if task.rank == 0:
+                yield from ga.put_ndarray(h, (5, 14, 5, 14), data)
+            yield from ga.sync()
+            got = yield from ga.get_ndarray(h, (5, 14, 5, 14))
+            halo_clean = True
+            if ga.array(h).local_block is not None:
+                gv = ga.access_ghosts(h)
+                # Halo ring is still zero (update_ghosts never ran).
+                interior = ga.access(h)
+                halo_sum = float(gv.sum() - interior.sum())
+                halo_clean = halo_sum == 0.0
+            yield from ga.sync()
+            return np.array_equal(got, data) and halo_clean
+
+        assert all(run_ga(main, backend=backend))
+
+    def test_accumulate_on_ghost_array(self, backend):
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((12, 12), ghost_width=1)
+            yield from ga.zero(h)
+            yield from ga.acc_ndarray(h, (0, 11, 0, 11),
+                                      np.ones((12, 12)))
+            yield from ga.sync()
+            got = yield from ga.get_ndarray(h, (0, 11, 0, 11))
+            return bool(np.all(got == task.size))
+
+        assert all(run_ga(main, backend=backend))
+
+
+class TestUpdateGhosts:
+    def test_halo_matches_neighbours(self, backend):
+        n = 16
+
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((n, n), ghost_width=1)
+            _global_fill(ga, h, n, n)
+            yield from ga.update_ghosts(h)
+            block = ga.array(h).local_block
+            ok = True
+            if block is not None:
+                gv = ga.access_ghosts(h)
+                for pi in range(-1, block.rows + 1):
+                    for pj in range(-1, block.cols + 1):
+                        gi = block.ilo + pi
+                        gj = block.jlo + pj
+                        if not (0 <= gi < n and 0 <= gj < n):
+                            continue  # outside: untouched
+                        expect = 100.0 * gi + gj
+                        if gv[pi + 1, pj + 1] != expect:
+                            ok = False
+            yield from ga.sync()
+            return ok
+
+        assert all(run_ga(main, backend=backend))
+
+    def test_wide_halo(self):
+        n, w = 24, 3
+
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((n, n), ghost_width=w)
+            _global_fill(ga, h, n, n)
+            yield from ga.update_ghosts(h)
+            block = ga.array(h).local_block
+            gv = ga.access_ghosts(h)
+            # Check the far corner of the halo where it exists.
+            gi = block.ilo - w
+            gj = block.jlo - w
+            ok = True
+            if gi >= 0 and gj >= 0:
+                ok = gv[0, 0] == 100.0 * gi + gj
+            yield from ga.sync()
+            return ok
+
+        assert all(run_ga(main))
+
+    def test_update_without_ghosts_rejected(self, backend):
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((8, 8))
+            yield from ga.sync()
+            try:
+                yield from ga.update_ghosts(h)
+            except GaError:
+                yield from ga.sync()
+                return "rejected"
+
+        assert run_ga(main, backend=backend)[0] == "rejected"
+
+    def test_repeated_updates_track_changes(self):
+        def main(task):
+            ga = task.ga
+            h = yield from ga.create((8, 8), ghost_width=1)
+            yield from ga.fill(h, 1.0)
+            yield from ga.update_ghosts(h)
+            first = None
+            block = ga.array(h).local_block
+            gv = ga.access_ghosts(h)
+            if block.ihi < 7:
+                first = float(gv[-1, 1])
+            yield from ga.fill(h, 2.0)
+            yield from ga.update_ghosts(h)
+            second = None
+            if block.ihi < 7:
+                second = float(gv[-1, 1])
+            yield from ga.sync()
+            return first, second
+
+        results = run_ga(main)
+        for first, second in results:
+            if first is not None:
+                assert (first, second) == (1.0, 2.0)

@@ -1,0 +1,123 @@
+"""Unit + property tests for GA section algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GaError
+from repro.ga import Section
+
+
+def sections(max_extent=40):
+    """Strategy generating valid sections within a max extent."""
+    def build(draw):
+        ilo = draw(st.integers(0, max_extent - 1))
+        ihi = draw(st.integers(ilo, max_extent - 1))
+        jlo = draw(st.integers(0, max_extent - 1))
+        jhi = draw(st.integers(jlo, max_extent - 1))
+        return Section(ilo, ihi, jlo, jhi)
+    return st.composite(build)()
+
+
+class TestBasics:
+    def test_shape_and_size(self):
+        s = Section(2, 5, 1, 3)
+        assert s.shape == (4, 3)
+        assert s.size == 12
+        assert s.rows == 4 and s.cols == 3
+
+    def test_of_tuple(self):
+        s = Section.of((0, 1, 2, 3))
+        assert s == Section(0, 1, 2, 3)
+        assert Section.of(s) is s
+
+    def test_inverted_rejected(self):
+        with pytest.raises(GaError):
+            Section(5, 2, 0, 0)
+        with pytest.raises(GaError):
+            Section(0, 0, 3, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GaError):
+            Section(-1, 2, 0, 0)
+
+    def test_single_column_flag(self):
+        assert Section(0, 9, 4, 4).is_single_column
+        assert not Section(0, 9, 4, 5).is_single_column
+
+    def test_str(self):
+        assert str(Section(1, 2, 3, 4)) == "(1:2,3:4)"
+
+
+class TestAlgebra:
+    def test_contains(self):
+        outer = Section(0, 9, 0, 9)
+        assert outer.contains(Section(2, 5, 3, 7))
+        assert outer.contains(outer)
+        assert not outer.contains(Section(2, 10, 3, 7))
+
+    def test_intersect(self):
+        a = Section(0, 5, 0, 5)
+        b = Section(3, 8, 4, 9)
+        assert a.intersect(b) == Section(3, 5, 4, 5)
+
+    def test_disjoint_intersect_none(self):
+        a = Section(0, 2, 0, 2)
+        b = Section(5, 7, 5, 7)
+        assert a.intersect(b) is None
+        assert not a.overlaps(b)
+
+    def test_columns_decomposition(self):
+        s = Section(1, 4, 2, 4)
+        cols = list(s.columns())
+        assert len(cols) == 3
+        assert all(c.is_single_column for c in cols)
+        assert cols[0] == Section(1, 4, 2, 2)
+        assert cols[-1] == Section(1, 4, 4, 4)
+
+    def test_relative_to(self):
+        origin = Section(10, 19, 20, 29)
+        piece = Section(12, 15, 21, 23)
+        rel = piece.relative_to(origin)
+        assert rel == Section(2, 5, 1, 3)
+
+    def test_relative_to_outside_rejected(self):
+        with pytest.raises(GaError):
+            Section(0, 5, 0, 5).relative_to(Section(1, 3, 1, 3))
+
+
+class TestProperties:
+    @given(sections(), sections())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(sections(), sections())
+    def test_intersection_contained_in_both(self, a, b):
+        c = a.intersect(b)
+        if c is not None:
+            assert a.contains(c)
+            assert b.contains(c)
+
+    @given(sections())
+    def test_self_intersection_identity(self, s):
+        assert s.intersect(s) == s
+
+    @given(sections())
+    def test_columns_partition_size(self, s):
+        cols = list(s.columns())
+        assert sum(c.size for c in cols) == s.size
+        # Disjoint and ordered.
+        for x, y in zip(cols, cols[1:]):
+            assert not x.overlaps(y)
+            assert x.jhi < y.jlo
+
+    @given(sections(), sections())
+    def test_relative_roundtrip(self, outer, inner):
+        probe = outer.intersect(inner)
+        if probe is None:
+            return
+        rel = probe.relative_to(outer)
+        # Re-basing back recovers the original coordinates.
+        back = Section(rel.ilo + outer.ilo, rel.ihi + outer.ilo,
+                       rel.jlo + outer.jlo, rel.jhi + outer.jlo)
+        assert back == probe

@@ -1,0 +1,187 @@
+"""Unit tests for GA wire descriptors, buffer pool, packing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GaError
+from repro.ga import DESCRIPTOR_SIZE, Descriptor, GaOp, Section
+from repro.ga.buffers import AmBufferPool
+from repro.machine.memory import Memory
+
+
+class TestDescriptor:
+    def test_roundtrip(self):
+        d = Descriptor(op=GaOp.ACC, handle=3,
+                       section=Section(1, 2, 3, 4), offset=100,
+                       total=4096, alpha=2.5, reply_addr=1 << 41,
+                       reply_cntr=7, aux=-3)
+        back = Descriptor.unpack(d.pack())
+        assert back == d
+
+    def test_size_fits_uhdr(self):
+        from repro.machine.config import SP_1998
+        assert DESCRIPTOR_SIZE <= SP_1998.lapi_uhdr_max
+
+    def test_packed_length_constant(self):
+        d = Descriptor(op=GaOp.PUT, handle=0,
+                       section=Section(0, 0, 0, 0))
+        assert len(d.pack()) == DESCRIPTOR_SIZE
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(GaError):
+            Descriptor.unpack(b"tiny")
+
+    def test_unpack_ignores_trailing_data(self):
+        d = Descriptor(op=GaOp.GET, handle=1,
+                       section=Section(0, 9, 0, 9))
+        assert Descriptor.unpack(d.pack() + b"extra") == d
+
+    def test_op_name(self):
+        d = Descriptor(op=GaOp.READ_INC, handle=0,
+                       section=Section(0, 0, 0, 0))
+        assert d.op_name == "read_inc"
+
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 2**40),
+           st.floats(allow_nan=False, allow_infinity=False))
+    def test_roundtrip_property(self, total, addr, alpha):
+        d = Descriptor(op=GaOp.PUT, handle=5,
+                       section=Section(0, 3, 0, 3), total=total,
+                       reply_addr=addr, alpha=alpha)
+        assert Descriptor.unpack(d.pack()) == d
+
+
+class TestBufferPool:
+    def make(self, small=4, large=2):
+        mem = Memory(0)
+        return AmBufferPool(mem, small_size=1024, small_count=small,
+                            large_size=8192, large_count=large)
+
+    def test_acquire_release_small(self):
+        pool = self.make()
+        a = pool.acquire(100)
+        assert pool.small_free == 3
+        pool.release(a)
+        assert pool.small_free == 4
+
+    def test_large_request_uses_large_slot(self):
+        pool = self.make()
+        a = pool.acquire(5000)
+        assert pool.large_free == 1
+        assert pool.small_free == 4
+        pool.release(a)
+
+    def test_small_overflow_spills_to_large(self):
+        pool = self.make(small=1)
+        a = pool.acquire(100)
+        b = pool.acquire(100)  # small exhausted -> large slot
+        assert pool.large_free == 1
+        pool.release(a)
+        pool.release(b)
+
+    def test_exhaustion_is_hard_error(self):
+        pool = self.make(small=1, large=1)
+        pool.acquire(100)
+        pool.acquire(100)
+        with pytest.raises(GaError, match="exhausted"):
+            pool.acquire(100)
+
+    def test_oversize_rejected(self):
+        pool = self.make()
+        with pytest.raises(GaError, match="exceeds"):
+            pool.acquire(100000)
+
+    def test_release_unknown_rejected(self):
+        pool = self.make()
+        with pytest.raises(GaError):
+            pool.release(12345)
+
+    def test_high_water_stats(self):
+        pool = self.make()
+        a = pool.acquire(10)
+        b = pool.acquire(10)
+        pool.release(a)
+        pool.release(b)
+        assert pool.small_high_water == 2
+        assert pool.in_use == 0
+
+
+class TestPacking:
+    def _make_ga(self, dims=(8, 8), ntasks=1):
+        from repro.ga.array import GlobalArray
+        from repro.ga.distribution import BlockDistribution
+        mem = Memory(0)
+        dist = BlockDistribution.create(dims, ntasks)
+        block = dist.block(0)
+        addr = mem.malloc(block.size * 8)
+        ga = GlobalArray(handle=0, name="t", dims=dims,
+                         dtype=np.dtype(np.float64), dist=dist, rank=0,
+                         local_addr=addr, base_addrs=[addr])
+        return mem, ga
+
+    def test_read_write_piece_roundtrip(self):
+        from repro.ga.packing import read_piece_packed, write_piece_packed
+        mem, ga = self._make_ga()
+        piece = Section(1, 4, 2, 5)
+        data = np.arange(piece.size, dtype=np.float64).tobytes()
+        write_piece_packed(mem, ga, 0, piece, data)
+        assert read_piece_packed(mem, ga, 0, piece) == data
+
+    def test_scatter_range_equals_full_write(self):
+        from repro.ga.packing import (read_piece_packed,
+                                      scatter_packed_range)
+        mem, ga = self._make_ga()
+        piece = Section(0, 5, 1, 6)
+        data = np.arange(piece.size, dtype=np.float64).tobytes()
+        # Deliver in awkward chunk sizes.
+        for off in range(0, len(data), 56):
+            scatter_packed_range(mem, ga, 0, piece,
+                                 data[off:off + 56], off)
+        assert read_piece_packed(mem, ga, 0, piece) == data
+
+    def test_gather_range_matches(self):
+        from repro.ga.packing import (gather_packed_range,
+                                      write_piece_packed)
+        mem, ga = self._make_ga()
+        piece = Section(2, 6, 0, 3)
+        data = np.arange(piece.size, dtype=np.float64).tobytes()
+        write_piece_packed(mem, ga, 0, piece, data)
+        got = b"".join(gather_packed_range(mem, ga, 0, piece, off,
+                                           min(48, len(data) - off))
+                       for off in range(0, len(data), 48))
+        assert got == data
+
+    def test_accumulate_range(self):
+        from repro.ga.packing import (accumulate_packed_range,
+                                      read_piece_packed,
+                                      write_piece_packed)
+        mem, ga = self._make_ga()
+        piece = Section(0, 3, 0, 3)
+        base = np.full(piece.size, 10.0)
+        write_piece_packed(mem, ga, 0, piece, base.tobytes())
+        add = np.arange(piece.size, dtype=np.float64)
+        accumulate_packed_range(mem, ga, 0, piece, add.tobytes(), 0,
+                                alpha=2.0)
+        out = np.frombuffer(read_piece_packed(mem, ga, 0, piece))
+        assert np.allclose(out, 10.0 + 2.0 * add)
+
+    def test_chunk_overrun_rejected(self):
+        from repro.ga.packing import scatter_packed_range
+        mem, ga = self._make_ga()
+        piece = Section(0, 1, 0, 1)
+        with pytest.raises(GaError, match="overruns"):
+            scatter_packed_range(mem, ga, 0, piece, b"x" * 64, 0)
+
+    @given(st.integers(1, 7), st.integers(1, 7), st.data())
+    def test_chunked_scatter_roundtrip_property(self, rows, cols, data):
+        from repro.ga.packing import (read_piece_packed,
+                                      scatter_packed_range)
+        mem, ga = self._make_ga()
+        piece = Section(0, rows - 1, 0, cols - 1)
+        blob = np.random.default_rng(0).random(piece.size).tobytes()
+        chunk = data.draw(st.integers(8, 128))
+        for off in range(0, len(blob), chunk):
+            scatter_packed_range(mem, ga, 0, piece,
+                                 blob[off:off + chunk], off)
+        assert read_piece_packed(mem, ga, 0, piece) == blob

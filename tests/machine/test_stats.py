@@ -1,0 +1,61 @@
+"""Tests for cluster statistics snapshots."""
+
+import pytest
+
+from repro.machine import Cluster, snapshot
+
+
+def run_traffic(nnodes=2):
+    def main(task):
+        lapi = task.lapi
+        buf = task.memory.malloc(4096)
+        yield from lapi.gfence()
+        if task.rank == 0:
+            src = task.memory.malloc(4096)
+            yield from lapi.put_sync(1, 4096, buf, src)
+        yield from lapi.gfence()
+
+    cluster = Cluster(nnodes=nnodes)
+    cluster.run_job(main, stacks=("lapi",))
+    return cluster
+
+
+class TestSnapshot:
+    def test_counters_consistent(self):
+        cluster = run_traffic()
+        stats = snapshot(cluster)
+        assert stats.virtual_time_us > 0
+        assert stats.packets_routed > 0
+        assert stats.packets_lost == 0
+        # Every routed packet was sent by some adapter.
+        assert stats.total_sent == stats.packets_routed
+        # Conservation: received + dropped == delivered.
+        assert sum(stats.adapter_received.values()) \
+            <= stats.packets_routed
+
+    def test_bytes_and_bandwidth(self):
+        cluster = run_traffic()
+        stats = snapshot(cluster)
+        assert stats.bytes_routed >= 4096  # at least the payload
+        assert stats.effective_bandwidth_mbs > 0
+
+    def test_busiest_links_sorted(self):
+        cluster = run_traffic()
+        stats = snapshot(cluster, top_links=3)
+        utils = [u for _, u in stats.busiest_links]
+        assert utils == sorted(utils, reverse=True)
+        assert len(stats.busiest_links) <= 3
+        assert all(0.0 <= u <= 1.0 for u in utils)
+
+    def test_render_mentions_every_node(self):
+        cluster = run_traffic()
+        text = snapshot(cluster).render()
+        assert "node 0" in text and "node 1" in text
+        assert "switch:" in text
+
+    def test_empty_cluster_snapshot(self):
+        cluster = Cluster(nnodes=2)
+        stats = snapshot(cluster)
+        assert stats.packets_routed == 0
+        assert stats.effective_bandwidth_mbs == 0.0
+        assert stats.render()  # renders without traffic too

@@ -1,0 +1,94 @@
+"""Tests for MPL probe / iprobe."""
+
+import pytest
+
+from repro.mpl import ANY_SOURCE, ANY_TAG
+
+from .conftest import run_mpl
+
+
+class TestIprobe:
+    def test_nothing_pending(self):
+        def main(task):
+            found = yield from task.mpl.iprobe(ANY_SOURCE, ANY_TAG)
+            yield from task.mpl.barrier()
+            return found
+
+        assert run_mpl(main)[0] is None
+
+    def test_sees_unexpected_message(self, progress_mode):
+        def main(task):
+            mpl = task.mpl
+            if task.rank == 0:
+                yield from mpl.send(1, b"probe me!", 9, tag=7)
+                yield from mpl.barrier()
+            else:
+                found = None
+                while found is None:
+                    found = yield from mpl.iprobe(0, 7)
+                    if found is None:
+                        yield from task.thread.sleep(10.0)
+                # Probing does not consume: the receive still works.
+                data = yield from mpl.recv_bytes(0, tag=7)
+                yield from mpl.barrier()
+                return found, data
+
+        results = run_mpl(main, interrupt_mode=progress_mode)
+        found, data = results[1]
+        assert found == (0, 7, 9)
+        assert data == b"probe me!"
+
+    def test_tag_filter(self):
+        def main(task):
+            mpl = task.mpl
+            if task.rank == 0:
+                yield from mpl.send(1, b"xx", 2, tag=5)
+                yield from mpl.barrier()
+            else:
+                # Wait until the message is definitely queued.
+                got = yield from mpl.probe(0, 5)
+                wrong_tag = yield from mpl.iprobe(0, 6)
+                yield from mpl.recv_bytes(0, tag=5)
+                yield from mpl.barrier()
+                return got, wrong_tag
+
+        got, wrong = run_mpl(main)[1]
+        assert got == (0, 5, 2)
+        assert wrong is None
+
+
+class TestProbe:
+    def test_blocks_until_arrival(self, progress_mode):
+        def main(task):
+            mpl = task.mpl
+            if task.rank == 0:
+                yield from task.thread.sleep(300.0)
+                yield from mpl.send(1, b"late", 4, tag=9)
+                yield from mpl.barrier()
+            else:
+                t0 = task.now()
+                found = yield from mpl.probe(ANY_SOURCE, 9)
+                waited = task.now() - t0
+                yield from mpl.recv_bytes(0, tag=9)
+                yield from mpl.barrier()
+                return found, waited
+
+        found, waited = run_mpl(main, interrupt_mode=progress_mode)[1]
+        assert found == (0, 9, 4)
+        assert waited >= 290.0
+
+    def test_probe_then_sized_receive(self):
+        """The classic probe pattern: learn the size, then receive."""
+        def main(task):
+            mpl = task.mpl
+            if task.rank == 0:
+                yield from mpl.send(1, b"z" * 777, 777, tag=3)
+                yield from mpl.barrier()
+            else:
+                src, tag, nbytes = yield from mpl.probe(ANY_SOURCE,
+                                                        ANY_TAG)
+                req = yield from mpl.recv(src, tag, None, nbytes)
+                yield from mpl.barrier()
+                return nbytes, len(req.data)
+
+        assert run_mpl(main)[1] == (777, 777)

@@ -1,0 +1,48 @@
+"""Tests for MPL waitany."""
+
+import pytest
+
+from repro.errors import MplError
+
+from .conftest import run_mpl
+
+
+class TestWaitany:
+    def test_returns_first_complete_index(self):
+        def main(task):
+            mpl = task.mpl
+            if task.rank == 0:
+                # Post two receives; only the tag-2 message will come
+                # first (tag-1 arrives later).
+                r1 = yield from mpl.irecv(1, 1, None, 64)
+                r2 = yield from mpl.irecv(1, 2, None, 64)
+                idx = yield from mpl.waitany([r1, r2])
+                first_tag = [1, 2][idx]
+                yield from mpl.waitall([r1, r2])
+                yield from mpl.barrier()
+                return first_tag
+            yield from mpl.send(0, b"second-tag", 10, tag=2)
+            yield from task.thread.sleep(500.0)
+            yield from mpl.send(0, b"first-tag!", 10, tag=1)
+            yield from mpl.barrier()
+
+        assert run_mpl(main)[0] == 2
+
+    def test_already_complete_request(self):
+        def main(task):
+            mpl = task.mpl
+            req = yield from mpl.isend(task.rank, b"self", 4, tag=1)
+            idx = yield from mpl.waitany([req])
+            yield from mpl.recv_bytes(task.rank, tag=1)
+            return idx
+
+        assert run_mpl(main, nnodes=1)[0] == 0
+
+    def test_empty_list_rejected(self):
+        def main(task):
+            try:
+                yield from task.mpl.waitany([])
+            except MplError:
+                return "rejected"
+
+        assert run_mpl(main, nnodes=1)[0] == "rejected"

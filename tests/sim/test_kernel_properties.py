@@ -1,0 +1,88 @@
+"""Property-based tests of discrete-event kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=60))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    """The kernel must process timeouts in time order, ties FIFO."""
+    sim = Simulator()
+    fired = []
+    for idx, d in enumerate(delays):
+        sim.timeout(d).callbacks.append(
+            lambda e, idx=idx, d=d: fired.append((d, idx)))
+    sim.run()
+    assert len(fired) == len(delays)
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    # FIFO among equal times: indices of equal-delay events stay ordered.
+    for i in range(len(fired) - 1):
+        if fired[i][0] == fired[i + 1][0]:
+            assert fired[i][1] < fired[i + 1][1]
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e4,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=30))
+def test_clock_never_goes_backwards(delays):
+    sim = Simulator()
+    observed = []
+
+    def body(d):
+        yield sim.timeout(d)
+        observed.append(sim.now)
+
+    for d in delays:
+        sim.process(body(d))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now == max(delays)
+
+
+@given(st.data())
+@settings(max_examples=50)
+def test_chained_processes_accumulate_delays(data):
+    """A pipeline of processes each sleeping d_i finishes at sum(d_i)."""
+    sim = Simulator()
+    delays = data.draw(st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1, max_size=10))
+
+    def stage(i):
+        yield sim.timeout(delays[i])
+        if i + 1 < len(delays):
+            val = yield sim.process(stage(i + 1))
+            return val + delays[i]
+        return delays[i]
+
+    proc = sim.process(stage(0))
+    total = sim.run_until_complete(proc)
+    assert abs(total - sum(delays)) < 1e-6
+    assert abs(sim.now - sum(delays)) < 1e-6
+
+
+@given(n=st.integers(min_value=1, max_value=40))
+def test_all_of_fires_at_max_time(n):
+    sim = Simulator()
+    events = [sim.timeout(float(i % 7)) for i in range(n)]
+    cond = sim.all_of(events)
+    fired_at = []
+    cond.callbacks.append(lambda e: fired_at.append(sim.now))
+    sim.run()
+    assert fired_at == [float(max(i % 7 for i in range(n)))]
+
+
+@given(n=st.integers(min_value=1, max_value=40))
+def test_any_of_fires_at_min_time(n):
+    sim = Simulator()
+    events = [sim.timeout(float((i * 3) % 11 + 1)) for i in range(n)]
+    cond = sim.any_of(events)
+    fired_at = []
+    cond.callbacks.append(lambda e: fired_at.append(sim.now))
+    sim.run()
+    assert fired_at[0] == float(min((i * 3) % 11 + 1 for i in range(n)))

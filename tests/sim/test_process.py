@@ -1,0 +1,263 @@
+"""Unit tests for repro.sim.process and kernel/process interaction."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Interrupt, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestBasicProcesses:
+    def test_process_returns_value(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            return 99
+
+        proc = sim.process(body())
+        assert sim.run_until_complete(proc) == 99
+        assert sim.now == 1.0
+
+    def test_process_without_yield_rejected(self, sim):
+        def not_a_gen():
+            return 1
+
+        with pytest.raises(SimulationError, match="generator"):
+            sim.process(not_a_gen())
+
+    def test_yield_non_event_rejected(self, sim):
+        def body():
+            yield 42
+
+        proc = sim.process(body())
+        with pytest.raises(SimulationError, match="yield Event"):
+            sim.run_until_complete(proc)
+
+    def test_yield_foreign_event_rejected(self, sim):
+        other = Simulator()
+
+        def body():
+            yield other.event()
+
+        proc = sim.process(body())
+        with pytest.raises(SimulationError, match="different simulator"):
+            sim.run_until_complete(proc)
+
+    def test_process_waits_for_manual_event(self, sim):
+        ev = sim.event()
+
+        def waiter():
+            val = yield ev
+            return val
+
+        def firer():
+            yield sim.timeout(3.0)
+            ev.succeed("ping")
+
+        w = sim.process(waiter())
+        sim.process(firer())
+        assert sim.run_until_complete(w) == "ping"
+        assert sim.now == 3.0
+
+    def test_process_is_waitable_event(self, sim):
+        def inner():
+            yield sim.timeout(2.0)
+            return "inner-done"
+
+        def outer():
+            val = yield sim.process(inner())
+            return val + "!"
+
+        proc = sim.process(outer())
+        assert sim.run_until_complete(proc) == "inner-done!"
+
+    def test_yield_from_composition(self, sim):
+        def sub(n):
+            yield sim.timeout(n)
+            return n * 2
+
+        def main():
+            a = yield from sub(1.0)
+            b = yield from sub(2.0)
+            return a + b
+
+        proc = sim.process(main())
+        assert sim.run_until_complete(proc) == 6.0
+        assert sim.now == 3.0
+
+    def test_already_processed_event_resumes_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+
+        def body():
+            yield sim.timeout(1.0)  # let ev get processed first
+            val = yield ev
+            return val
+
+        proc = sim.process(body())
+        assert sim.run_until_complete(proc) == "early"
+
+
+class TestFailures:
+    def test_exception_in_process_propagates(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            raise ValueError("inside")
+
+        proc = sim.process(body())
+        with pytest.raises(ValueError, match="inside"):
+            sim.run_until_complete(proc)
+
+    def test_unwatched_crashing_process_crashes_run(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            raise ValueError("unwatched")
+
+        sim.process(body())
+        with pytest.raises(ValueError, match="unwatched"):
+            sim.run()
+
+    def test_failed_event_thrown_into_waiter(self, sim):
+        ev = sim.event()
+
+        def waiter():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        def firer():
+            yield sim.timeout(1.0)
+            ev.fail(RuntimeError("bad"))
+
+        w = sim.process(waiter())
+        sim.process(firer())
+        assert sim.run_until_complete(w) == "caught bad"
+
+    def test_watched_process_failure_delivered_to_watcher(self, sim):
+        def crasher():
+            yield sim.timeout(1.0)
+            raise KeyError("k")
+
+        def watcher():
+            try:
+                yield sim.process(crasher())
+            except KeyError:
+                return "observed"
+
+        w = sim.process(watcher())
+        assert sim.run_until_complete(w) == "observed"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_blocked_process(self, sim):
+        def body():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as irq:
+                return ("interrupted", irq.cause, sim.now)
+
+        proc = sim.process(body())
+
+        def interrupter():
+            yield sim.timeout(2.0)
+            proc.interrupt("why")
+
+        sim.process(interrupter())
+        assert sim.run_until_complete(proc) == ("interrupted", "why", 2.0)
+
+    def test_interrupt_dead_process_raises(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        sim.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_interrupted_process_can_rewait(self, sim):
+        ev = sim.event()
+
+        def body():
+            try:
+                yield ev
+            except Interrupt:
+                pass
+            val = yield ev  # wait again after interruption
+            return val
+
+        proc = sim.process(body())
+
+        def driver():
+            yield sim.timeout(1.0)
+            proc.interrupt()
+            yield sim.timeout(1.0)
+            ev.succeed("finally")
+
+        sim.process(driver())
+        assert sim.run_until_complete(proc) == "finally"
+
+
+class TestKernel:
+    def test_run_until_time(self, sim):
+        sim.timeout(10.0)
+        assert sim.run(until=4.0) == 4.0
+        assert sim.now == 4.0
+
+    def test_run_empty_queue_extends_clock_to_until(self, sim):
+        assert sim.run(until=7.5) == 7.5
+
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_max_events_guard(self, sim):
+        def forever():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(forever())
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=50)
+
+    def test_deadlock_detection(self, sim):
+        def stuck():
+            yield sim.event()  # nobody will ever fire this
+
+        proc = sim.process(stuck())
+        with pytest.raises(DeadlockError, match="stuck"):
+            sim.run_until_complete(proc)
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(3.0)
+        sim.run(until=0.0)  # process the boot-less timeout scheduling
+        assert sim.peek() == 3.0
+
+    def test_events_processed_counter(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_active_process_visible_inside_body(self, sim):
+        seen = []
+
+        def body():
+            seen.append(sim.active_process)
+            yield sim.timeout(0.0)
+            seen.append(sim.active_process)
+
+        proc = sim.process(body())
+        sim.run()
+        assert seen == [proc, proc]
+        assert sim.active_process is None
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim._schedule_at(1.0, sim.event())

@@ -1,0 +1,84 @@
+"""Unit tests for repro.sim.rng and repro.sim.trace."""
+
+from repro.sim import RngRegistry, Simulator, TraceRecord, Tracer
+
+
+class TestRngRegistry:
+    def test_same_key_same_stream_object(self):
+        reg = RngRegistry(seed=1)
+        assert reg.stream("net") is reg.stream("net")
+
+    def test_streams_reproducible_across_registries(self):
+        a = RngRegistry(seed=7).stream("x").integers(0, 1 << 30, size=8)
+        b = RngRegistry(seed=7).stream("x").integers(0, 1 << 30, size=8)
+        assert (a == b).all()
+
+    def test_streams_independent_of_creation_order(self):
+        r1 = RngRegistry(seed=3)
+        r1.stream("a")
+        x1 = r1.stream("b").integers(0, 1 << 30, size=4)
+        r2 = RngRegistry(seed=3)
+        x2 = r2.stream("b").integers(0, 1 << 30, size=4)  # no "a" first
+        assert (x1 == x2).all()
+
+    def test_different_keys_differ(self):
+        reg = RngRegistry(seed=5)
+        a = reg.stream("a").integers(0, 1 << 30, size=16)
+        b = reg.stream("b").integers(0, 1 << 30, size=16)
+        assert (a != b).any()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("k").integers(0, 1 << 30, size=16)
+        b = RngRegistry(seed=2).stream("k").integers(0, 1 << 30, size=16)
+        assert (a != b).any()
+
+    def test_reset_restarts_streams(self):
+        reg = RngRegistry(seed=9)
+        first = reg.stream("s").integers(0, 1 << 30, size=4)
+        reg.reset()
+        again = reg.stream("s").integers(0, 1 << 30, size=4)
+        assert (first == again).all()
+
+
+class TestTracer:
+    def test_records_accumulate(self):
+        tr = Tracer()
+        tr.log(1.0, "node0", "lapi", "put issued")
+        tr.log(2.0, "node1", "lapi", "put delivered")
+        assert len(tr) == 2
+        assert tr.records[0] == TraceRecord(1.0, "node0", "lapi",
+                                            "put issued")
+
+    def test_category_filter(self):
+        tr = Tracer(categories=["net"])
+        tr.log(1.0, "a", "net", "pkt")
+        tr.log(1.0, "a", "lapi", "ignored")
+        assert len(tr) == 1
+        assert tr.by_category("net")[0].message == "pkt"
+        assert tr.by_category("lapi") == []
+
+    def test_limit_suppresses(self):
+        tr = Tracer(limit=2)
+        for i in range(5):
+            tr.log(float(i), "s", "c", str(i))
+        assert len(tr) == 2
+        assert tr.suppressed == 3
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.log(0.0, "s", "c", "m")
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.suppressed == 0
+
+    def test_str_rendering(self):
+        rec = TraceRecord(12.5, "node3", "ga", "accumulate")
+        text = str(rec)
+        assert "12.500" in text and "node3" in text and "accumulate" in text
+
+    def test_kernel_hookup(self):
+        tr = Tracer(categories=["event"])
+        sim = Simulator(trace=tr)
+        sim.timeout(1.0)
+        sim.run()
+        assert len(tr) == 1
