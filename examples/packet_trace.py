@@ -2,15 +2,19 @@
 """Observability: trace a one-sided transfer packet by packet.
 
 Attaches a :class:`repro.sim.Tracer` to the machine and runs a single
-multi-packet LAPI put, then prints the adapter/switch event timeline
-and a cluster statistics report -- the view an SP operator's monitoring
-tools would give, and the first tool to reach for when debugging a
-protocol change in this code base.
+multi-packet LAPI put, then prints the adapter/switch event timeline,
+the cluster's unified metrics registry (``repro.obs``), and a sample of
+the structured JSONL trace export -- the view an SP operator's
+monitoring tools would give, and the first tool to reach for when
+debugging a protocol change in this code base.
 
-Run:  python examples/packet_trace.py
+Run:  python examples/packet_trace.py [--trace-out trace.jsonl]
 """
 
+import sys
+
 from repro.machine import Cluster, snapshot
+from repro.obs import jsonl_lines, write_trace_jsonl
 from repro.sim import Tracer
 
 
@@ -42,5 +46,20 @@ if __name__ == "__main__":
     print()
     print("=== cluster statistics ===")
     print(snapshot(cluster).render())
+
+    print()
+    print("=== unified metrics (repro.obs) ===")
+    print(cluster.metrics.render())
+
+    print()
+    print("=== structured trace export (first 5 JSONL records) ===")
+    for line in list(jsonl_lines(tracer.records))[:5]:
+        print(line)
+
+    if "--trace-out" in sys.argv:
+        path = sys.argv[sys.argv.index("--trace-out") + 1]
+        n = write_trace_jsonl(tracer.records, path)
+        print(f"\nwrote {n} trace records to {path}")
+
     print()
     print(f"dispatcher packets processed per rank: {processed}")

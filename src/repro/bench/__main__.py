@@ -3,33 +3,86 @@
 With no arguments every table and figure regenerates in paper order;
 otherwise only the named experiments run (``table2``, ``fig3``, ...).
 Exit status is non-zero if any shape check fails.
+
+Observability flags (see ``docs/observability.md``):
+
+``--metrics``
+    Print a per-subsystem metrics block (adapters, switch links,
+    reliability, dispatchers, matching, GA buffer pools) for every
+    cluster each experiment ran.  Deterministic: identical seeds
+    produce byte-identical blocks.
+``--trace-out FILE``
+    Attach a structured tracer to every cluster and write all trace
+    records to ``FILE`` as JSONL
+    (``time_us, node, subsystem, event, fields``).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
 from . import ALL_EXPERIMENTS
+from . import runner
+from ..obs import write_trace_jsonl
 
 
 def main(argv: list[str]) -> int:
-    names = argv or list(ALL_EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all, in paper"
+                             f" order: {', '.join(ALL_EXPERIMENTS)})")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print per-subsystem metrics blocks")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write structured JSONL traces to FILE")
+    opts = parser.parse_args(argv)
+
+    names = opts.experiments or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; choose from"
               f" {sorted(ALL_EXPERIMENTS)}")
         return 2
+
+    observing = opts.metrics or opts.trace_out is not None
+    if observing:
+        runner.configure_observability(metrics=opts.metrics,
+                                       trace=opts.trace_out is not None)
+
     failed = 0
+    trace_lines = 0
+    first_trace = True
     for name in names:
         start = time.perf_counter()
         result = ALL_EXPERIMENTS[name]()
         wall = time.perf_counter() - start
+        if observing:
+            clusters = runner.captured_clusters()
+            if opts.metrics:
+                result.metrics_blocks = [
+                    f"-- metrics: {name} cluster #{i}"
+                    f" ({c.nnodes} nodes @ {c.sim.now:.1f} virtual us)"
+                    f" --\n{c.metrics.render()}"
+                    for i, c in enumerate(clusters)]
+            if opts.trace_out is not None:
+                for c in clusters:
+                    if c.trace is None:
+                        continue
+                    trace_lines += write_trace_jsonl(
+                        c.trace.records, opts.trace_out,
+                        append=not first_trace)
+                    first_trace = False
         print(result.render())
         print(f"(regenerated in {wall:.1f}s wall time)")
         print()
         if not result.all_passed:
             failed += 1
+    if opts.trace_out is not None:
+        print(f"wrote {trace_lines} trace records to {opts.trace_out}")
     if failed:
         print(f"{failed} experiment(s) had failing shape checks")
         return 1

@@ -3,6 +3,13 @@
 Experiments are SPMD jobs on fresh clusters measured in *virtual* time;
 these helpers standardize cluster construction, repetition/averaging,
 and unit conversions (bytes/us == MB/s).
+
+The module also carries the harness's observability switchboard: when
+``python -m repro.bench`` runs with ``--metrics`` or ``--trace-out``,
+:func:`configure_observability` arms capture and every cluster built by
+:func:`fresh_cluster` gets a structured tracer attached and is retained
+so the CLI can render its per-subsystem metrics block and export its
+JSONL trace after the experiment finishes.
 """
 
 from __future__ import annotations
@@ -11,25 +18,73 @@ from typing import Callable, Optional, Sequence
 
 from ..machine import Cluster
 from ..machine.config import SP_1998, MachineConfig
+from ..sim import Tracer
 
 __all__ = ["fresh_cluster", "mean", "reps_for_size", "SIZE_SWEEP",
-           "bandwidth_mbs"]
+           "bandwidth_mbs", "configure_observability",
+           "captured_clusters"]
 
 #: Message-size sweep of Figure 2 (16 bytes to 2 MB).
 SIZE_SWEEP = [16, 64, 256, 1024, 4096, 8192, 16384, 32768, 65536,
               131072, 262144, 524288, 1048576, 2097152]
 
 
+class _Observability:
+    """Capture state armed by the CLI; off by default."""
+
+    def __init__(self) -> None:
+        self.collect_metrics = False
+        self.trace = False
+        self.trace_limit = 250_000
+        self.trace_categories: Optional[Sequence[str]] = None
+        self.clusters: list[Cluster] = []
+
+
+_OBS = _Observability()
+
+
+def configure_observability(*, metrics: bool = False, trace: bool = False,
+                            trace_limit: int = 250_000,
+                            trace_categories: Optional[Sequence[str]]
+                            = None) -> None:
+    """Arm (or disarm) metrics/trace capture for subsequent clusters."""
+    _OBS.collect_metrics = metrics
+    _OBS.trace = trace
+    _OBS.trace_limit = trace_limit
+    _OBS.trace_categories = trace_categories
+    _OBS.clusters = []
+
+
+def captured_clusters() -> list[Cluster]:
+    """Drain the clusters captured since the last call (CLI hook)."""
+    clusters = _OBS.clusters
+    _OBS.clusters = []
+    return clusters
+
+
 def fresh_cluster(nnodes: int = 2, config: MachineConfig = SP_1998,
                   seed: int = 0xBE1) -> Cluster:
     """A new cluster per measurement: no cross-experiment state."""
-    return Cluster(nnodes=nnodes, config=config, seed=seed)
+    trace = Tracer(categories=_OBS.trace_categories,
+                   limit=_OBS.trace_limit) if _OBS.trace else None
+    cluster = Cluster(nnodes=nnodes, config=config, seed=seed,
+                      trace=trace)
+    if _OBS.collect_metrics or _OBS.trace:
+        _OBS.clusters.append(cluster)
+    return cluster
 
 
 def mean(values: Sequence[float], *, skip_warmup: int = 1) -> float:
-    """Average, discarding warm-up iterations when there are enough."""
+    """Average, discarding warm-up iterations when there are enough.
+
+    The warm-up values are dropped whenever at least one measured value
+    remains afterwards; with ``skip_warmup`` or fewer samples nothing
+    is discarded.  An empty sequence is a caller bug and raises.
+    """
     vals = list(values)
-    if len(vals) > skip_warmup + 1:
+    if not vals:
+        raise ValueError("mean() of an empty sequence of measurements")
+    if len(vals) > skip_warmup:
         vals = vals[skip_warmup:]
     return sum(vals) / len(vals)
 

@@ -123,7 +123,35 @@ class Lapi:
         self.client.delivery_filter = self._ack_fast_path
         self.client.on_arrival = self._spawn_interrupt_dispatcher
         self.client.interrupts_enabled = self.interrupt_mode
+        self._register_metrics()
         self._initialized = True
+
+    def _register_metrics(self) -> None:
+        """Wire this stack into the cluster's observability registry."""
+        from ..obs import DEPTH_BUCKETS
+        metrics = self.task.cluster.metrics
+        rank = self.ctx.rank
+        self.transport.ack_rtt = metrics.histogram(
+            "core.reliability", "ack_rtt_us", node=rank)
+        metrics.register_collector("core.reliability",
+                                   self.transport.metrics, node=rank)
+        self.dispatcher.ooo_depth = metrics.histogram(
+            "core.dispatcher", "reassembly_ooo_depth", node=rank,
+            buckets=DEPTH_BUCKETS)
+        metrics.register_collector("core.dispatcher",
+                                   self._dispatcher_metrics, node=rank)
+
+    def _dispatcher_metrics(self) -> dict:
+        s = self.ctx.stats
+        return {
+            "packets_processed": s.packets_processed,
+            "interrupts_taken": s.interrupts_taken,
+            "hdr_handlers_run": s.hdr_handlers_run,
+            "cmpl_handlers_run": s.cmpl_handlers_run,
+            "bytes_sent": s.bytes_sent,
+            "bytes_received": s.bytes_received,
+            "local_fastpaths": s.local_fastpaths,
+        }
 
     def _wait_credit(self, thread, event) -> Generator:
         """Block on a send-window credit, driving progress if polling."""

@@ -84,6 +84,10 @@ class Dispatcher:
         self.lapi = lapi
         self.ctx = lapi.ctx
         self.config = lapi.config
+        #: Optional :class:`repro.obs.Histogram` observing the stash
+        #: depth whenever a packet outraces its message's first packet
+        #: (reassembly out-of-order depth).  Installed by Lapi.init.
+        self.ooo_depth = None
 
     # ------------------------------------------------------------------
     # entry points
@@ -171,9 +175,9 @@ class Dispatcher:
         ctx = self.ctx
         ctx.stats.packets_processed += 1
         trace = self.lapi.task.cluster.trace
-        if trace is not None:
+        if trace is not None and trace.wants("lapi"):
             trace.log(thread.sim.now, f"lapi{ctx.rank}", "lapi",
-                      f"dispatch {pkt!r}")
+                      f"dispatch {pkt!r}", **pkt.trace_fields())
         if pkt.kind == PacketKind.ACK:
             # Lightweight: adjust transport state, run ack hooks.
             yield from thread.execute(0.3)
@@ -292,6 +296,8 @@ class Dispatcher:
                 # Outran the first packet: hold in LAPI-internal buffers
                 # (the copy above is the stash copy).
                 asm.stash.append((pkt.info["offset"], payload))
+                if self.ooo_depth is not None:
+                    self.ooo_depth.observe(float(len(asm.stash)))
         if asm.complete:
             del ctx.recv_asm[(asm.src, asm.msg_id)]
             yield from self._message_complete(thread, asm)

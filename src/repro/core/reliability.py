@@ -13,7 +13,10 @@ Design:
 * the receiver acknowledges each packet (control path, no CPU thread)
   and filters duplicates with a cumulative watermark + sparse set;
 * the sender keeps unacknowledged packets and retransmits them after a
-  timeout (a lazily started per-peer timer process);
+  timeout (a lazily started per-peer timer process); retransmitted
+  *data* packets re-enter the adapter through the credit-accounted
+  data path (best-effort, retried next round when the TX FIFO is
+  saturated) while control packets keep their reserved slots;
 * *data* packets additionally consume send-window credits, giving
   end-to-end flow control that back-pressures the sending thread; pure
   control packets bypass the window so a dispatcher can always respond
@@ -49,7 +52,7 @@ class _PeerTx:
 
     def __init__(self, sim: "Simulator", window: int, name: str) -> None:
         self.next_seq = 0
-        #: seq -> (packet, deadline, uses_window, on_ack)
+        #: seq -> (packet, deadline, uses_window, on_ack, sent_at)
         self.unacked: dict[int, tuple] = {}
         #: seq -> retransmission count.
         self.attempts: dict[int, int] = {}
@@ -118,6 +121,17 @@ class ReliableTransport:
         self.retransmissions = 0
         self.duplicates_dropped = 0
         self.acks_sent = 0
+        #: Acknowledgements for already-acked or unknown sequence
+        #: numbers (retransmission overlap); previously silently
+        #: dropped, now counted.
+        self.duplicate_acks = 0
+        #: Data retransmissions deferred because the TX FIFO had no
+        #: free credit (retried on the next timer round).
+        self.retransmit_backoffs = 0
+        #: Optional :class:`repro.obs.Histogram` observing the
+        #: virtual-time gap between a packet's (latest) injection and
+        #: its acknowledgement.  Installed by the owning stack.
+        self.ack_rtt = None
 
     # ------------------------------------------------------------------
     def _peer_tx(self, peer: int) -> _PeerTx:
@@ -175,39 +189,59 @@ class ReliableTransport:
                   uses_window: bool, on_ack) -> None:
         packet.seq = st.next_seq
         st.next_seq += 1
-        deadline = self.sim.now + self.timeout
-        st.unacked[packet.seq] = (packet, deadline, uses_window, on_ack)
+        now = self.sim.now
+        st.unacked[packet.seq] = (packet, now + self.timeout,
+                                  uses_window, on_ack, now)
         if not st.timer_running:
             st.timer_running = True
             self.sim.process(self._retransmit_loop(packet.dst, st),
                              name=f"retx:{self.proto}:{packet.dst}")
 
     def _retransmit_loop(self, peer: int, st: _PeerTx) -> Generator:
-        """Per-peer timer: re-inject packets whose ack is overdue."""
+        """Per-peer timer: re-inject packets whose ack is overdue.
+
+        Data packets re-enter through :meth:`Adapter.inject_async` so
+        the retransmission consumes a TX FIFO credit exactly like the
+        original injection (the timer process has no CPU thread to
+        block, so a saturated FIFO defers the packet to the next
+        round instead).  Control packets keep their reserved slots via
+        :meth:`Adapter.inject_control`.
+        """
         while st.unacked:
-            horizon = min(d for (_, d, _, _) in st.unacked.values())
+            horizon = min(d for (_, d, _, _, _) in st.unacked.values())
             delay = max(horizon - self.sim.now, self.timeout * 0.25)
             yield self.sim.timeout(delay)
             now = self.sim.now
             for seq in sorted(st.unacked):
-                pkt, deadline, uses_window, on_ack = st.unacked[seq]
-                if deadline <= now:
-                    tries = st.attempts.get(seq, 0) + 1
-                    if tries > self.MAX_RETRANSMITS_PER_PACKET:
-                        from ..errors import NetworkError
-                        raise NetworkError(
-                            f"{self.proto}@{self.adapter.node_id}: no"
-                            f" acknowledgement from node {peer} after"
-                            f" {tries - 1} retransmissions of {pkt!r}"
-                            " -- peer terminated or collective calls"
-                            " are mismatched")
-                    st.attempts[seq] = tries
-                    self.retransmissions += 1
-                    st.unacked[seq] = (pkt, now + self.timeout,
-                                       uses_window, on_ack)
-                    if self.on_retransmit is not None:
-                        self.on_retransmit(pkt)
+                pkt, deadline, uses_window, on_ack, sent_at = \
+                    st.unacked[seq]
+                if deadline > now:
+                    continue
+                tries = st.attempts.get(seq, 0) + 1
+                if tries > self.MAX_RETRANSMITS_PER_PACKET:
+                    from ..errors import NetworkError
+                    raise NetworkError(
+                        f"{self.proto}@{self.adapter.node_id}: no"
+                        f" acknowledgement from node {peer} after"
+                        f" {tries - 1} retransmissions of {pkt!r}"
+                        " -- peer terminated or collective calls"
+                        " are mismatched")
+                if uses_window:
+                    if not self.adapter.inject_async(pkt):
+                        # TX FIFO saturated: defer without charging an
+                        # attempt; the backlog drains in virtual time.
+                        self.retransmit_backoffs += 1
+                        st.unacked[seq] = (pkt, now + self.timeout * 0.25,
+                                           uses_window, on_ack, sent_at)
+                        continue
+                else:
                     self.adapter.inject_control(pkt)
+                st.attempts[seq] = tries
+                self.retransmissions += 1
+                st.unacked[seq] = (pkt, now + self.timeout,
+                                   uses_window, on_ack, now)
+                if self.on_retransmit is not None:
+                    self.on_retransmit(pkt)
         st.timer_running = False
 
     # ------------------------------------------------------------------
@@ -233,21 +267,42 @@ class ReliableTransport:
         return fresh
 
     def on_ack(self, packet: "Packet") -> None:
-        """Process an arriving acknowledgement."""
+        """Process an arriving acknowledgement.
+
+        Duplicate acknowledgements (retransmission overlap: both the
+        original and the retransmitted copy got acked) and acks from
+        peers with no send state are counted, not silently dropped.
+        """
         st = self._tx.get(packet.src)
         if st is None:
+            self.duplicate_acks += 1
             return
         entry = st.unacked.pop(packet.info["acked_seq"], None)
         if entry is None:
-            return  # duplicate ack
+            self.duplicate_acks += 1
+            return
         st.attempts.pop(packet.info["acked_seq"], None)
-        _, _, uses_window, on_ack = entry
+        _, _, uses_window, on_ack, sent_at = entry
+        if self.ack_rtt is not None:
+            self.ack_rtt.observe(self.sim.now - sent_at)
         if uses_window:
             st.window.post()
         if on_ack is not None:
             on_ack()
         if self.on_progress is not None:
             self.on_progress()
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Counter block for the observability registry (collector)."""
+        return {
+            "retransmissions": self.retransmissions,
+            "retransmit_backoffs": self.retransmit_backoffs,
+            "duplicates_dropped": self.duplicates_dropped,
+            "duplicate_acks": self.duplicate_acks,
+            "acks_sent": self.acks_sent,
+            "unacked_in_flight": self.outstanding_total(),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<ReliableTransport {self.proto}@{self.adapter.node_id}"

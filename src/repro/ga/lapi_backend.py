@@ -92,7 +92,20 @@ class LapiBackend:
         self._org_cntr = lapi.counter(name="ga.org")
         self._acc_mutex = SimLock(lapi.sim, name=f"ga{lapi.rank}.accmx")
         self._chunk_hid = lapi.register_handler(self._chunk_hh)
+        self.task.cluster.metrics.register_collector(
+            "ga.buffers", self._pool_metrics, node=self.task.rank)
         yield from lapi.gfence()
+
+    def _pool_metrics(self) -> dict:
+        """Pool occupancy for the observability registry (collector)."""
+        pool = self.pool
+        return {
+            "small_high_water": pool.small_high_water,
+            "large_high_water": pool.large_high_water,
+            "small_free": pool.small_free,
+            "large_free": pool.large_free,
+            "in_use": pool.in_use,
+        }
 
     def terminate(self) -> Generator:
         yield from self.sync()

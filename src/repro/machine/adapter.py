@@ -139,9 +139,18 @@ class Adapter:
 
     def _count_drop(self, packet: "Packet") -> None:
         self.rx_dropped += 1
-        if self.trace is not None:
+        if self.trace is not None and self.trace.wants("rxdrop"):
             self.trace.log(self.sim.now, f"adapter{self.node_id}",
-                           "rxdrop", repr(packet))
+                           "rxdrop", repr(packet),
+                           **packet.trace_fields())
+
+    def metrics(self) -> dict:
+        """Counter block for the observability registry (collector)."""
+        return {
+            "packets_sent": self.packets_sent,
+            "packets_received": self.packets_received,
+            "rx_dropped": self.rx_dropped,
+        }
 
     # ------------------------------------------------------------------
     # transmit path
@@ -198,9 +207,10 @@ class Adapter:
             yield self.sim.timeout(packet.size / cfg.link_bandwidth
                                    + cfg.packet_gap)
             self.packets_sent += 1
-            if self.trace is not None:
+            if self.trace is not None and self.trace.wants("tx"):
                 self.trace.log(self.sim.now, f"adapter{self.node_id}",
-                               "tx", repr(packet))
+                               "tx", repr(packet),
+                               **packet.trace_fields())
             self.switch.route(packet)
             if took_credit:
                 self._tx_credits.post()
@@ -223,9 +233,9 @@ class Adapter:
                 f"node {self.node_id}: packet for unattached protocol"
                 f" {packet.proto!r}")
         self.packets_received += 1
-        if self.trace is not None:
+        if self.trace is not None and self.trace.wants("rx"):
             self.trace.log(self.sim.now, f"adapter{self.node_id}",
-                           "rx", repr(packet))
+                           "rx", repr(packet), **packet.trace_fields())
         if (client.delivery_filter is not None
                 and client.delivery_filter(packet)):
             return

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Sequence
 
 from ..errors import MachineError
+from ..obs import MetricsRegistry
 from ..sim import RngRegistry, Simulator, Tracer
 from .config import SP_1998, MachineConfig
 from .node import Node
@@ -97,6 +98,16 @@ class Cluster:
         for node in self.nodes:
             node.adapter.connect(self.switch)
         self._oob_state: dict[str, dict[int, Any]] = {}
+        #: Cluster-wide observability registry (``repro.obs``).  The
+        #: machine layer registers itself here; the LAPI/MPL/GA stacks
+        #: wire their subsystems in at init time.
+        self.metrics = MetricsRegistry()
+        for node in self.nodes:
+            self.metrics.register_collector(
+                "machine.adapter", node.adapter.metrics,
+                node=node.node_id)
+        self.metrics.register_collector("machine.switch",
+                                        self.switch.metrics)
 
     @property
     def nnodes(self) -> int:

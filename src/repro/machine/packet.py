@@ -75,6 +75,12 @@ class Packet:
             raise NetworkError(
                 f"packet {self.uid} oversize: {self.size} > {max_size}")
 
+    def trace_fields(self) -> dict:
+        """Structured identity for trace records (JSONL export)."""
+        return {"uid": self.uid, "proto": self.proto,
+                "kind": str(self.kind), "src": self.src, "dst": self.dst,
+                "seq": self.seq, "bytes": self.size}
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Packet#{self.uid} {self.proto}.{self.kind} "
                 f"{self.src}->{self.dst} seq={self.seq} "

@@ -68,8 +68,9 @@ class Switch:
         cfg = self.config
         if cfg.loss_rate > 0.0 and self._loss_rng.random() < cfg.loss_rate:
             self.packets_lost += 1
-            if self.trace is not None:
-                self.trace.log(self.sim.now, "switch", "loss", repr(packet))
+            if self.trace is not None and self.trace.wants("loss"):
+                self.trace.log(self.sim.now, "switch", "loss",
+                               repr(packet), **packet.trace_fields())
             return
 
         candidates = self.topology.routes(packet.src, packet.dst, cfg)
@@ -89,12 +90,30 @@ class Switch:
 
         self.packets_routed += 1
         self.bytes_routed += packet.size
-        if self.trace is not None:
+        if self.trace is not None and self.trace.wants("route"):
             self.trace.log(self.sim.now, "switch", "route",
-                           f"{packet!r} arrives t={t:.3f}")
+                           f"{packet!r} arrives t={t:.3f}",
+                           arrival_us=round(t, 6),
+                           **packet.trace_fields())
         delay = t - self.sim.now
         ev = self.sim.timeout(delay, name=f"wire:{packet.uid}")
         ev.callbacks.append(lambda _ev, p=packet: dst_adapter.deliver(p))
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Counter block for the observability registry (collector).
+
+        Includes per-link utilization gauges (``util.<link>``), the
+        fabric-level view Figures 2-4 ultimately derive from.
+        """
+        out = {
+            "packets_routed": self.packets_routed,
+            "packets_lost": self.packets_lost,
+            "bytes_routed": self.bytes_routed,
+        }
+        for name, util in sorted(self.link_utilization().items()):
+            out[f"util.{name}"] = round(util, 6)
+        return out
 
     # ------------------------------------------------------------------
     def link_utilization(self, horizon: Optional[float] = None) -> dict:

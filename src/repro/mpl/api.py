@@ -112,7 +112,34 @@ class Mpl:
         self.client.delivery_filter = self._ack_fast_path
         self.client.on_arrival = self._spawn_interrupt_dispatcher
         self.client.interrupts_enabled = self.interrupt_mode
+        self._register_metrics()
         self._initialized = True
+
+    def _register_metrics(self) -> None:
+        """Wire this stack into the cluster's observability registry."""
+        metrics = self.task.cluster.metrics
+        rank = self.ctx.rank
+        self.transport.ack_rtt = metrics.histogram(
+            "mpl.reliability", "ack_rtt_us", node=rank)
+        metrics.register_collector("mpl.reliability",
+                                   self.transport.metrics, node=rank)
+        metrics.register_collector("mpl.matching",
+                                   self._matching_metrics, node=rank)
+
+    def _matching_metrics(self) -> dict:
+        m = self.ctx.match
+        s = self.ctx.stats
+        return {
+            "matched_posted": m.matched_posted,
+            "matched_unexpected": m.matched_unexpected,
+            "envelopes_parked": m.envelopes_parked,
+            "unexpected_pending": len(m.unexpected),
+            "eager_buffered": s.eager_buffered,
+            "eager_direct": s.eager_direct,
+            "early_arrival_bytes": s.early_arrival_bytes,
+            "rendezvous_round_trips": s.rendezvous,
+            "rcvncalls_run": s.rcvncalls_run,
+        }
 
     def _wait_credit(self, thread, event) -> Generator:
         """Block on a send-window credit, driving progress if polling."""

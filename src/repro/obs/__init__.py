@@ -1,0 +1,37 @@
+"""Unified observability: metrics registry + structured trace export.
+
+The paper's whole argument is quantitative (Tables 1-2, Figures 2-4
+are counter- and latency-derived), so the simulator carries one
+first-class measurement surface instead of per-subsystem ad-hoc
+counters:
+
+* :class:`MetricsRegistry` -- cluster-wide named counters, gauges, and
+  fixed-bucket virtual-time histograms, addressed by
+  ``(subsystem, node, name)``.  Every :class:`repro.machine.Cluster`
+  owns one as ``cluster.metrics``; the machine, LAPI, MPL, and GA
+  layers wire themselves into it at init time.
+* :func:`write_trace_jsonl` and friends -- export
+  :class:`repro.sim.Tracer` records as JSONL
+  (``time_us, node, subsystem, event, fields``).
+
+Determinism is a hard guarantee: identical seeds produce identical
+snapshots (and byte-identical rendered blocks / trace files).  See
+``docs/observability.md`` for the schema and the bench-harness flags
+(``python -m repro.bench --metrics --trace-out FILE``).
+"""
+
+from .export import jsonl_lines, record_to_dict, write_trace_jsonl
+from .metrics import (Counter, DEPTH_BUCKETS, Gauge, Histogram,
+                      LATENCY_BUCKETS_US, MetricsRegistry)
+
+__all__ = [
+    "Counter",
+    "DEPTH_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_US",
+    "MetricsRegistry",
+    "jsonl_lines",
+    "record_to_dict",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,54 @@
+"""Structured trace export: JSONL records for offline analysis.
+
+A :class:`repro.sim.Tracer` already stores structured
+``(time, source, category, message, fields)`` records; this module
+serializes them to the observability schema::
+
+    {"time_us": 12.5, "node": "adapter0", "subsystem": "tx",
+     "event": "...", "fields": {"src": 0, "dst": 1, ...}}
+
+one JSON object per line (JSONL), the format ``python -m repro.bench
+--trace-out FILE`` writes and every log pipeline ingests.  Encoding is
+deterministic (sorted keys, compact separators), so identical seeds
+produce byte-identical trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.trace import TraceRecord
+
+__all__ = ["record_to_dict", "jsonl_lines", "write_trace_jsonl"]
+
+
+def record_to_dict(record: "TraceRecord") -> dict:
+    """Map one trace record onto the JSONL schema."""
+    return {
+        "time_us": round(record.time, 6),
+        "node": record.source,
+        "subsystem": record.category,
+        "event": record.message,
+        "fields": dict(record.fields),
+    }
+
+
+def jsonl_lines(records: Iterable["TraceRecord"]) -> Iterable[str]:
+    """Deterministically encoded JSON line per record (no newline)."""
+    for record in records:
+        yield json.dumps(record_to_dict(record), sort_keys=True,
+                         separators=(",", ":"), default=str)
+
+
+def write_trace_jsonl(records: Iterable["TraceRecord"],
+                      path: str, *, append: bool = False) -> int:
+    """Write ``records`` to ``path`` as JSONL; returns the line count."""
+    written = 0
+    with open(path, "a" if append else "w", encoding="utf-8") as fh:
+        for line in jsonl_lines(records):
+            fh.write(line)
+            fh.write("\n")
+            written += 1
+    return written

@@ -1,0 +1,247 @@
+"""Cluster-wide metrics: named counters, gauges, and histograms.
+
+The registry is the single measurement surface of the simulator: every
+subsystem (adapter, switch, reliability layer, LAPI/MPL dispatchers,
+GA buffer pools) either updates registry instruments directly on its
+hot path or exposes its existing ad-hoc counters through a *collector*
+-- a zero-argument callable returning ``{name: value}`` that the
+registry invokes lazily at snapshot time.  Collectors keep hot paths
+untouched while still aggregating everything into one report.
+
+Metrics are addressed by ``(subsystem, node, name)``; ``node=None``
+denotes a cluster-wide metric (the switch).  All values derive from
+virtual-time simulation state, so identical seeds produce *identical*
+snapshots -- byte-identical once rendered -- which tests assert.
+
+Histograms use fixed log-spaced buckets so that two runs always bucket
+identically; :data:`LATENCY_BUCKETS_US` (powers of two from 0.5us to
+~1s) suits virtual-time latencies, :data:`DEPTH_BUCKETS` small integer
+depths (queue/stash occupancy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..errors import SimulationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "LATENCY_BUCKETS_US", "DEPTH_BUCKETS"]
+
+#: Log-spaced virtual-time latency buckets: 0.5us .. ~1s, then +inf.
+LATENCY_BUCKETS_US = tuple(2.0 ** k for k in range(-1, 21))
+
+#: Log-spaced occupancy/depth buckets: 1, 2, 4 .. 1024, then +inf.
+DEPTH_BUCKETS = tuple(float(2 ** k) for k in range(0, 11))
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise SimulationError(f"counter {self.name}: negative inc {n}")
+        self.value += n
+
+    def snapshot_value(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value (occupancy, utilization, high-water)."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+        if v > self.high_water:
+            self.high_water = v
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram of virtual-time observations.
+
+    ``buckets`` are the inclusive upper edges; an implicit ``+inf``
+    bucket catches everything beyond the last edge.  Buckets are fixed
+    at construction, never rescaled, so identically seeded runs bucket
+    identically.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = LATENCY_BUCKETS_US) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise SimulationError(
+                f"histogram {name}: buckets must be strictly increasing")
+        self.name = name
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)  # last slot == +inf
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot_value(self) -> dict:
+        """Stable dict form: count/sum/max plus the nonzero buckets."""
+        nonzero = {}
+        for edge, n in zip(self.buckets, self.counts):
+            if n:
+                nonzero[format(edge, "g")] = n
+        if self.counts[-1]:
+            nonzero["inf"] = self.counts[-1]
+        return {"count": self.count, "sum": round(self.total, 6),
+                "max": round(self.max, 6), "buckets": nonzero}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+def _node_key(node: Optional[int]) -> str:
+    return "-" if node is None else str(node)
+
+
+def _fmt_value(v: Any) -> str:
+    if isinstance(v, float):
+        return format(round(v, 6), "g")
+    if isinstance(v, dict):  # histogram snapshot
+        buckets = "|".join(f"{k}:{n}" for k, n in v["buckets"].items())
+        return (f"{{count={v['count']} sum={format(v['sum'], 'g')}"
+                f" max={format(v['max'], 'g')}"
+                f" buckets={buckets or '-'}}}")
+    return str(v)
+
+
+class MetricsRegistry:
+    """All metrics of one simulated cluster.
+
+    Instruments are get-or-create: asking twice for the same
+    ``(subsystem, node, name)`` returns the same object, so layers can
+    wire themselves up independently.  Snapshots are plain nested dicts
+    (``subsystem -> node -> name -> value``) with deterministically
+    sorted keys; :meth:`render` produces the per-subsystem text block
+    the bench harness prints under ``--metrics``.
+    """
+
+    def __init__(self) -> None:
+        #: (subsystem, node_key, name) -> instrument
+        self._instruments: dict[tuple[str, str, str], Any] = {}
+        #: (subsystem, node_key) -> [collector, ...]
+        self._collectors: dict[tuple[str, str], list[Callable]] = {}
+
+    # -- instrument factories -------------------------------------------
+    def _get_or_create(self, cls, subsystem: str, name: str,
+                       node: Optional[int], *args):
+        key = (subsystem, _node_key(node), name)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(f"{subsystem}.{name}", *args)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise SimulationError(
+                f"metric {key} already registered as"
+                f" {type(inst).__name__}, not {cls.__name__}")
+        return inst
+
+    def counter(self, subsystem: str, name: str,
+                node: Optional[int] = None) -> Counter:
+        return self._get_or_create(Counter, subsystem, name, node)
+
+    def gauge(self, subsystem: str, name: str,
+              node: Optional[int] = None) -> Gauge:
+        return self._get_or_create(Gauge, subsystem, name, node)
+
+    def histogram(self, subsystem: str, name: str,
+                  node: Optional[int] = None,
+                  buckets: Sequence[float] = LATENCY_BUCKETS_US
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, subsystem, name, node,
+                                   buckets)
+
+    # -- lazy collectors ------------------------------------------------
+    def register_collector(self, subsystem: str, fn: Callable[[], dict],
+                           node: Optional[int] = None) -> None:
+        """Attach ``fn`` (returning ``{name: value}``) to a subsystem.
+
+        Called at snapshot time; the cheap way to export counters a
+        component already keeps without touching its hot path.
+        """
+        self._collectors.setdefault((subsystem, _node_key(node)),
+                                    []).append(fn)
+
+    # -- snapshot / render ----------------------------------------------
+    @staticmethod
+    def _node_sort_key(k: str):
+        return (0, int(k)) if k.lstrip("-").isdigit() and k != "-" \
+            else (1, k)
+
+    def snapshot(self) -> dict:
+        """Deterministic ``subsystem -> node -> name -> value`` dict."""
+        merged: dict[str, dict[str, dict[str, Any]]] = {}
+        for (subsystem, node, name), inst in self._instruments.items():
+            merged.setdefault(subsystem, {}).setdefault(node, {})[
+                name] = inst.snapshot_value()
+        for (subsystem, node), fns in self._collectors.items():
+            block = merged.setdefault(subsystem, {}).setdefault(node, {})
+            for fn in fns:
+                for name, value in fn().items():
+                    block[name] = value
+        return {
+            sub: {
+                node: dict(sorted(merged[sub][node].items()))
+                for node in sorted(merged[sub],
+                                   key=self._node_sort_key)
+            }
+            for sub in sorted(merged)
+        }
+
+    def render(self) -> str:
+        """Per-subsystem text block (what ``--metrics`` prints)."""
+        snap = self.snapshot()
+        if not snap:
+            return "(no metrics registered)"
+        lines = []
+        for subsystem, nodes in snap.items():
+            lines.append(f"{subsystem}:")
+            for node, values in nodes.items():
+                where = "cluster" if node == "-" else f"node {node}"
+                body = " ".join(f"{k}={_fmt_value(v)}"
+                                for k, v in values.items())
+                lines.append(f"  {where}: {body}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MetricsRegistry {len(self._instruments)} instruments,"
+                f" {sum(len(v) for v in self._collectors.values())}"
+                " collectors>")

@@ -1,31 +1,46 @@
 """Lightweight structured tracing for simulations.
 
-A :class:`Tracer` collects ``(time, source, category, message)`` records.
-It exists for debugging protocol interactions (e.g. watching a LAPI
-multi-packet message reassemble out of order) and for tests that assert on
-event sequences.  Tracing is off by default and costs nothing when
-disabled.
+A :class:`Tracer` collects ``(time, source, category, message, fields)``
+records.  It exists for debugging protocol interactions (e.g. watching a
+LAPI multi-packet message reassemble out of order), for tests that
+assert on event sequences, and -- through :mod:`repro.obs.export` -- for
+machine-readable JSONL trace files.  Tracing is off by default and
+costs nothing when disabled: callers on hot paths gate any expensive
+record construction on :meth:`Tracer.wants`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
 
 __all__ = ["TraceRecord", "Tracer"]
+
+_NO_FIELDS: Mapping[str, Any] = {}
 
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One trace entry, in virtual microseconds."""
+    """One trace entry, in virtual microseconds.
+
+    ``fields`` carries optional structured key/value detail (packet
+    src/dst/kind, sequence numbers...); the JSONL exporter emits it
+    verbatim, while ``message`` stays the human-readable summary.
+    """
 
     time: float
     source: str
     category: str
     message: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
 
     def __str__(self) -> str:
-        return f"[{self.time:12.3f}us] {self.source:<18s} {self.category:<10s} {self.message}"
+        tail = ""
+        if self.fields:
+            tail = " " + " ".join(f"{k}={v}"
+                                  for k, v in self.fields.items())
+        return (f"[{self.time:12.3f}us] {self.source:<18s}"
+                f" {self.category:<10s} {self.message}{tail}")
 
 
 class Tracer:
@@ -49,21 +64,42 @@ class Tracer:
         self.limit = limit
         self.suppressed = 0
 
+    def wants(self, category: str) -> bool:
+        """Would a record of ``category`` be stored right now?
+
+        Hot paths check this before building expensive record content
+        (``repr`` of packets/events), so suppressed records cost
+        nothing.
+        """
+        return ((self.categories is None or category in self.categories)
+                and len(self.records) < self.limit)
+
     def log(self, time: float, source: str, category: str,
-            message: str) -> None:
+            message: str, **fields: Any) -> None:
         """Record one entry (subject to category filter and cap)."""
         if self.categories is not None and category not in self.categories:
             return
         if len(self.records) >= self.limit:
             self.suppressed += 1
             return
-        rec = TraceRecord(time, source, category, message)
+        rec = TraceRecord(time, source, category, message,
+                          fields if fields else _NO_FIELDS)
         self.records.append(rec)
         if self.echo:  # pragma: no cover - interactive aid
             print(rec)
 
     def kernel_event(self, time: float, event: Any) -> None:
-        """Hook invoked by the kernel for every processed event."""
+        """Hook invoked by the kernel for every processed event.
+
+        The filter/cap check runs *before* ``repr(event)`` is built:
+        on long runs with kernel events filtered out, this hook must
+        not format millions of strings that are immediately discarded.
+        """
+        if self.categories is not None and "event" not in self.categories:
+            return
+        if len(self.records) >= self.limit:
+            self.suppressed += 1
+            return
         self.log(time, "kernel", "event", repr(event))
 
     def by_category(self, category: str) -> list[TraceRecord]:

@@ -1,0 +1,50 @@
+"""Bench harness plumbing: mean() warm-up handling and observability."""
+
+import pytest
+
+from repro.bench import runner
+
+
+class TestMean:
+    def test_empty_sequence_raises_value_error(self):
+        with pytest.raises(ValueError):
+            runner.mean([])
+
+    def test_warmup_sample_is_discarded(self):
+        # With exactly one measurement beyond the warm-up, the warm-up
+        # must not leak into the average (the old off-by-one kept it).
+        assert runner.mean([10.0, 2.0]) == 2.0
+        assert runner.mean([10.0, 2.0, 4.0]) == 3.0
+
+    def test_single_sample_survives(self):
+        # Fewer samples than warm-ups: keep what we have.
+        assert runner.mean([7.0]) == 7.0
+
+    def test_skip_warmup_zero_uses_everything(self):
+        assert runner.mean([1.0, 3.0], skip_warmup=0) == 2.0
+
+
+class TestObservabilitySwitchboard:
+    def teardown_method(self):
+        runner.configure_observability()  # disarm for other tests
+
+    def test_disarmed_by_default(self):
+        cluster = runner.fresh_cluster(nnodes=2)
+        assert cluster.trace is None
+        assert runner.captured_clusters() == []
+
+    def test_armed_capture_retains_clusters_with_tracers(self):
+        runner.configure_observability(metrics=True, trace=True)
+        a = runner.fresh_cluster(nnodes=2)
+        b = runner.fresh_cluster(nnodes=2)
+        assert a.trace is not None
+        captured = runner.captured_clusters()
+        assert captured == [a, b]
+        # Draining resets the capture list.
+        assert runner.captured_clusters() == []
+
+    def test_metrics_only_capture_skips_tracer(self):
+        runner.configure_observability(metrics=True)
+        cluster = runner.fresh_cluster(nnodes=2)
+        assert cluster.trace is None
+        assert runner.captured_clusters() == [cluster]
