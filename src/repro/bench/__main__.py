@@ -15,17 +15,55 @@ Observability flags (see ``docs/observability.md``):
     Attach a structured tracer to every cluster and write all trace
     records to ``FILE`` as JSONL
     (``time_us, node, subsystem, event, fields``).
+
+Performance flags (see ``docs/performance.md``):
+
+``--perf``
+    Measure the simulator itself: wall-clock seconds, kernel events
+    processed, and events/second for every experiment plus a dedicated
+    2 MB LAPI put probe (``fig2_large``, the hot-path stress case).
+    Writes a JSON report (default ``BENCH_PERF.json``).
+``--perf-out FILE``
+    Where to write the report.
+``--perf-quick``
+    Reduced message-size sweeps for fig2/fig3/fig4 -- the CI smoke
+    configuration.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from . import ALL_EXPERIMENTS
+from . import ALL_EXPERIMENTS, run_fig2, run_fig3, run_fig4
 from . import runner
+from .bandwidth import lapi_bandwidth_point
 from ..obs import write_trace_jsonl
+
+#: Reduced sweeps for ``--perf-quick``.  Chosen so every shape check of
+#: the full sweep still resolves: fig2 keeps the half-peak crossover
+#: (8K/16K) and the eager kink; fig3 keeps one size per regime (small
+#: win / MPL buffering band / large win / asymptote).
+QUICK_SIZES = {
+    "fig2": [1024, 8192, 16384, 65536, 2097152],
+    "fig3": [512, 8192, 131072, 2097152],
+    "fig4": [512, 8192, 131072, 2097152],
+}
+
+
+def _perf_record(wall: float, clusters) -> dict:
+    """Simulator-performance numbers for one experiment run."""
+    events = sum(c.sim.events_processed for c in clusters)
+    virtual_us = sum(c.sim.now for c in clusters)
+    return {
+        "wall_s": round(wall, 3),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+        "virtual_us": round(virtual_us, 1),
+        "clusters": len(clusters),
+    }
 
 
 def main(argv: list[str]) -> int:
@@ -39,6 +77,14 @@ def main(argv: list[str]) -> int:
                         help="print per-subsystem metrics blocks")
     parser.add_argument("--trace-out", metavar="FILE", default=None,
                         help="write structured JSONL traces to FILE")
+    parser.add_argument("--perf", action="store_true",
+                        help="measure wall time / events per second and"
+                             " write a JSON report")
+    parser.add_argument("--perf-out", metavar="FILE",
+                        default="BENCH_PERF.json",
+                        help="perf report path (default: BENCH_PERF.json)")
+    parser.add_argument("--perf-quick", action="store_true",
+                        help="reduced fig2/fig3/fig4 sweeps (CI smoke)")
     opts = parser.parse_args(argv)
 
     names = opts.experiments or list(ALL_EXPERIMENTS)
@@ -48,17 +94,25 @@ def main(argv: list[str]) -> int:
               f" {sorted(ALL_EXPERIMENTS)}")
         return 2
 
-    observing = opts.metrics or opts.trace_out is not None
+    experiments = dict(ALL_EXPERIMENTS)
+    if opts.perf_quick:
+        experiments["fig2"] = lambda: run_fig2(sizes=QUICK_SIZES["fig2"])
+        experiments["fig3"] = lambda: run_fig3(sizes=QUICK_SIZES["fig3"])
+        experiments["fig4"] = lambda: run_fig4(sizes=QUICK_SIZES["fig4"])
+
+    observing = opts.metrics or opts.trace_out is not None or opts.perf
     if observing:
         runner.configure_observability(metrics=opts.metrics,
-                                       trace=opts.trace_out is not None)
+                                       trace=opts.trace_out is not None,
+                                       capture=opts.perf)
 
     failed = 0
     trace_lines = 0
     first_trace = True
+    perf: dict = {}
     for name in names:
         start = time.perf_counter()
-        result = ALL_EXPERIMENTS[name]()
+        result = experiments[name]()
         wall = time.perf_counter() - start
         if observing:
             clusters = runner.captured_clusters()
@@ -76,6 +130,8 @@ def main(argv: list[str]) -> int:
                         c.trace.records, opts.trace_out,
                         append=not first_trace)
                     first_trace = False
+            if opts.perf:
+                perf[name] = _perf_record(wall, clusters)
         print(result.render())
         print(f"(regenerated in {wall:.1f}s wall time)")
         print()
@@ -83,6 +139,30 @@ def main(argv: list[str]) -> int:
             failed += 1
     if opts.trace_out is not None:
         print(f"wrote {trace_lines} trace records to {opts.trace_out}")
+
+    if opts.perf:
+        # Dedicated hot-path probe: the large-message end of Figure 2,
+        # where the event kernel dominates wall time.
+        start = time.perf_counter()
+        bw = lapi_bandwidth_point(2097152)
+        wall = time.perf_counter() - start
+        perf["fig2_large"] = _perf_record(wall, runner.captured_clusters())
+        perf["fig2_large"]["bandwidth_mbs"] = round(bw, 2)
+        totals = {
+            "wall_s": round(sum(p["wall_s"] for p in perf.values()), 3),
+            "events": sum(p["events"] for p in perf.values()),
+        }
+        totals["events_per_sec"] = (
+            round(totals["events"] / totals["wall_s"])
+            if totals["wall_s"] > 0 else 0)
+        report = {"schema": 1, "quick": opts.perf_quick,
+                  "experiments": perf, "totals": totals}
+        with open(opts.perf_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"perf: {totals['events']} events in {totals['wall_s']}s"
+              f" ({totals['events_per_sec']:,} events/s)"
+              f" -> {opts.perf_out}")
     if failed:
         print(f"{failed} experiment(s) had failing shape checks")
         return 1

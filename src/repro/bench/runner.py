@@ -35,6 +35,9 @@ class _Observability:
     def __init__(self) -> None:
         self.collect_metrics = False
         self.trace = False
+        #: Retain clusters without attaching metrics/trace machinery
+        #: (used by ``--perf`` to read kernel event counters).
+        self.capture = False
         self.trace_limit = 250_000
         self.trace_categories: Optional[Sequence[str]] = None
         self.clusters: list[Cluster] = []
@@ -44,12 +47,14 @@ _OBS = _Observability()
 
 
 def configure_observability(*, metrics: bool = False, trace: bool = False,
+                            capture: bool = False,
                             trace_limit: int = 250_000,
                             trace_categories: Optional[Sequence[str]]
                             = None) -> None:
     """Arm (or disarm) metrics/trace capture for subsequent clusters."""
     _OBS.collect_metrics = metrics
     _OBS.trace = trace
+    _OBS.capture = capture
     _OBS.trace_limit = trace_limit
     _OBS.trace_categories = trace_categories
     _OBS.clusters = []
@@ -69,7 +74,7 @@ def fresh_cluster(nnodes: int = 2, config: MachineConfig = SP_1998,
                    limit=_OBS.trace_limit) if _OBS.trace else None
     cluster = Cluster(nnodes=nnodes, config=config, seed=seed,
                       trace=trace)
-    if _OBS.collect_metrics or _OBS.trace:
+    if _OBS.collect_metrics or _OBS.trace or _OBS.capture:
         _OBS.clusters.append(cluster)
     return cluster
 

@@ -194,55 +194,68 @@ class ReliableTransport:
                                   uses_window, on_ack, now)
         if not st.timer_running:
             st.timer_running = True
-            self.sim.process(self._retransmit_loop(packet.dst, st),
-                             name=f"retx:{self.proto}:{packet.dst}")
+            self._arm_timer(packet.dst, st)
 
-    def _retransmit_loop(self, peer: int, st: _PeerTx) -> Generator:
-        """Per-peer timer: re-inject packets whose ack is overdue.
+    def _arm_timer(self, peer: int, st: _PeerTx) -> None:
+        """Schedule the next retransmit check for ``peer``.
+
+        The timer used to be a per-peer generator process
+        (boot event + a :class:`Timeout` per round); it is now a
+        :meth:`Simulator.call_at` chain -- one bare heap entry per
+        round, re-armed from the fire callback while packets remain
+        unacknowledged.  The delay arithmetic is unchanged, so rounds
+        fire at the same virtual instants the process-based timer did.
+        """
+        horizon = min(d for (_, d, _, _, _) in st.unacked.values())
+        delay = max(horizon - self.sim.now, self.timeout * 0.25)
+        self.sim.call_at(self.sim.now + delay, self._timer_fire, (peer, st))
+
+    def _timer_fire(self, peer_st: tuple) -> None:
+        """One retransmit round: re-inject packets whose ack is overdue.
 
         Data packets re-enter through :meth:`Adapter.inject_async` so
         the retransmission consumes a TX FIFO credit exactly like the
-        original injection (the timer process has no CPU thread to
-        block, so a saturated FIFO defers the packet to the next
-        round instead).  Control packets keep their reserved slots via
+        original injection (the timer has no CPU thread to block, so a
+        saturated FIFO defers the packet to the next round instead).
+        Control packets keep their reserved slots via
         :meth:`Adapter.inject_control`.
         """
-        while st.unacked:
-            horizon = min(d for (_, d, _, _, _) in st.unacked.values())
-            delay = max(horizon - self.sim.now, self.timeout * 0.25)
-            yield self.sim.timeout(delay)
-            now = self.sim.now
-            for seq in sorted(st.unacked):
-                pkt, deadline, uses_window, on_ack, sent_at = \
-                    st.unacked[seq]
-                if deadline > now:
+        peer, st = peer_st
+        now = self.sim.now
+        for seq in sorted(st.unacked):
+            pkt, deadline, uses_window, on_ack, sent_at = \
+                st.unacked[seq]
+            if deadline > now:
+                continue
+            tries = st.attempts.get(seq, 0) + 1
+            if tries > self.MAX_RETRANSMITS_PER_PACKET:
+                from ..errors import NetworkError
+                raise NetworkError(
+                    f"{self.proto}@{self.adapter.node_id}: no"
+                    f" acknowledgement from node {peer} after"
+                    f" {tries - 1} retransmissions of {pkt!r}"
+                    " -- peer terminated or collective calls"
+                    " are mismatched")
+            if uses_window:
+                if not self.adapter.inject_async(pkt):
+                    # TX FIFO saturated: defer without charging an
+                    # attempt; the backlog drains in virtual time.
+                    self.retransmit_backoffs += 1
+                    st.unacked[seq] = (pkt, now + self.timeout * 0.25,
+                                       uses_window, on_ack, sent_at)
                     continue
-                tries = st.attempts.get(seq, 0) + 1
-                if tries > self.MAX_RETRANSMITS_PER_PACKET:
-                    from ..errors import NetworkError
-                    raise NetworkError(
-                        f"{self.proto}@{self.adapter.node_id}: no"
-                        f" acknowledgement from node {peer} after"
-                        f" {tries - 1} retransmissions of {pkt!r}"
-                        " -- peer terminated or collective calls"
-                        " are mismatched")
-                if uses_window:
-                    if not self.adapter.inject_async(pkt):
-                        # TX FIFO saturated: defer without charging an
-                        # attempt; the backlog drains in virtual time.
-                        self.retransmit_backoffs += 1
-                        st.unacked[seq] = (pkt, now + self.timeout * 0.25,
-                                           uses_window, on_ack, sent_at)
-                        continue
-                else:
-                    self.adapter.inject_control(pkt)
-                st.attempts[seq] = tries
-                self.retransmissions += 1
-                st.unacked[seq] = (pkt, now + self.timeout,
-                                   uses_window, on_ack, now)
-                if self.on_retransmit is not None:
-                    self.on_retransmit(pkt)
-        st.timer_running = False
+            else:
+                self.adapter.inject_control(pkt)
+            st.attempts[seq] = tries
+            self.retransmissions += 1
+            st.unacked[seq] = (pkt, now + self.timeout,
+                               uses_window, on_ack, now)
+            if self.on_retransmit is not None:
+                self.on_retransmit(pkt)
+        if st.unacked:
+            self._arm_timer(peer, st)
+        else:
+            st.timer_running = False
 
     # ------------------------------------------------------------------
     # receive side

@@ -117,6 +117,12 @@ class Adapter:
         self.packets_sent = 0
         self.packets_received = 0
         self.rx_dropped = 0
+        #: Fast-path diagnostics (kept out of :meth:`metrics` so the
+        #: observability snapshot is independent of ``fast_trains``):
+        #: trains collapsed by the TX engine and interior packets they
+        #: carried.
+        self.trains_collapsed = 0
+        self.train_packets = 0
 
     # ------------------------------------------------------------------
     def connect(self, switch: "Switch") -> None:
@@ -199,32 +205,135 @@ class Adapter:
         self._tx_queue.put((packet, False))
 
     def _tx_engine(self) -> Generator:
-        """DMA engine: serializes packets onto the injection link."""
+        """DMA engine: serializes packets onto the injection link.
+
+        Each packet pays DMA setup plus wire serialization plus the
+        inter-packet gap, strictly in FIFO order.  When the FIFO holds
+        the interior of a contiguous packet train whose timing is
+        provably deterministic (see :meth:`_peel_train`), the engine
+        serializes that interior analytically: the whole per-packet
+        schedule is computed in one pass and posted as bare kernel
+        callbacks, then the engine sleeps to the end of the interior.
+        Virtual times are bit-identical to the packet-by-packet path;
+        only the host-level event machinery is cheaper.
+        """
         cfg = self.config
+        sim = self.sim
         while True:
             packet, took_credit = yield self._tx_queue.get()
-            yield self.sim.timeout(cfg.adapter_send_dma)
-            yield self.sim.timeout(packet.size / cfg.link_bandwidth
-                                   + cfg.packet_gap)
-            self.packets_sent += 1
-            if self.trace is not None and self.trace.wants("tx"):
-                self.trace.log(self.sim.now, f"adapter{self.node_id}",
-                               "tx", repr(packet),
-                               **packet.trace_fields())
-            self.switch.route(packet)
-            if took_credit:
-                self._tx_credits.post()
+            yield sim.timeout(cfg.adapter_send_dma)
+            yield sim.timeout(packet.size / cfg.link_bandwidth
+                              + cfg.packet_gap)
+            self._tx_complete(packet, took_credit)
+            interior = self._peel_train(packet)
+            if interior:
+                end = self._schedule_train(interior)
+                # The train's last packet stays in the FIFO and goes
+                # through the normal path, so message boundaries (final
+                # delivery, counters, interrupt re-arm) are produced by
+                # exactly the same code as without the fast path.
+                yield sim.timeout_at(end)
+
+    def _tx_complete(self, packet: "Packet", took_credit: bool) -> None:
+        """TX bookkeeping at a packet's serialization-complete instant."""
+        self.packets_sent += 1
+        if self.trace is not None and self.trace.wants("tx"):
+            self.trace.log(self.sim.now, f"adapter{self.node_id}",
+                           "tx", repr(packet),
+                           **packet.trace_fields())
+        self.switch.route(packet)
+        if took_credit:
+            self._tx_credits.post()
+
+    def _tx_train_step(self, item: tuple) -> None:
+        """One interior train packet completes TX (kernel callback)."""
+        self._tx_complete(item[0], item[1])
+
+    def _peel_train(self, head: "Packet") -> Optional[list]:
+        """Pop the interior of a deterministic packet train off the FIFO.
+
+        A train is a FIFO prefix of packets that continue ``head``: same
+        protocol/kind/destination, same message, contiguous offsets.
+        The interior (everything but the train's last packet, which is
+        left queued) may be serialized analytically only when nothing
+        can perturb per-packet timing:
+
+        * ``fast_trains`` enabled (``MachineConfig``),
+        * no fabric loss (a loss draw would consume RNG per packet),
+        * a single candidate route (multipath picks routes randomly),
+        * no route jitter on that route,
+        * contiguous same-message data packets (vector/scattered
+          transfers fall back to packet-by-packet).
+
+        Returns the popped ``(packet, took_credit)`` interior items, or
+        ``None`` when the fast path must not engage.
+        """
+        cfg = self.config
+        if not cfg.fast_trains or cfg.loss_rate > 0.0:
+            return None
+        hinfo = head.info
+        msg_key = hinfo.get("msg_id", hinfo.get("msg_seq"))
+        if msg_key is None or "offset" not in hinfo or not head.payload:
+            return None
+        candidates = self.switch.route_candidates(self.node_id, head.dst)
+        if len(candidates) != 1:
+            return None
+        if candidates[0].crosses_core and cfg.route_jitter > 0.0:
+            return None
+        run = []
+        prev = head
+        for item in self._tx_queue.iter_items():
+            pkt = item[0]
+            if (pkt.dst != head.dst or pkt.proto != head.proto
+                    or pkt.kind != head.kind or not pkt.payload):
+                break
+            pinfo = pkt.info
+            if (pinfo.get("msg_id", pinfo.get("msg_seq")) != msg_key
+                    or pinfo.get("offset") !=
+                    prev.info["offset"] + len(prev.payload)):
+                break
+            run.append(item)
+            prev = pkt
+        if len(run) < 2:
+            return None
+        interior = run[:-1]
+        for _ in interior:
+            self._tx_queue.try_get()
+        return interior
+
+    def _schedule_train(self, interior: list) -> float:
+        """Post the interior's per-packet TX completions; returns the
+        virtual time at which the interior has fully serialized.
+
+        The accumulation mirrors the two timeouts of the normal path
+        operation-for-operation so every completion lands on the same
+        float the packet-by-packet engine would produce.
+        """
+        cfg = self.config
+        sim = self.sim
+        dma = cfg.adapter_send_dma
+        bw = cfg.link_bandwidth
+        gap = cfg.packet_gap
+        t = sim.now
+        for item in interior:
+            t = t + dma
+            t = t + (item[0].size / bw + gap)
+            sim.call_at(t, self._tx_train_step, item)
+        self.trains_collapsed += 1
+        self.train_packets += len(interior)
+        return t
 
     # ------------------------------------------------------------------
     # receive path
     # ------------------------------------------------------------------
     def deliver(self, packet: "Packet") -> None:
         """Called by the switch when a packet arrives at this node."""
-        finish = self._rx_dma.occupy(self.sim.now,
-                                     self.config.adapter_recv_dma)
-        ev = self.sim.timeout(finish - self.sim.now,
-                              name=f"rxdma:{packet.uid}")
-        ev.callbacks.append(lambda _ev, p=packet: self._enqueue(p))
+        now = self.sim.now
+        finish = self._rx_dma.occupy(now, self.config.adapter_recv_dma)
+        # Bare-callback completion (no Timeout/name/closure); the
+        # now + (finish - now) form matches the Timeout it replaced so
+        # completion times stay bit-identical.
+        self.sim.call_at(now + (finish - now), self._enqueue, packet)
 
     def _enqueue(self, packet: "Packet") -> None:
         client = self.clients.get(packet.proto)

@@ -69,6 +69,16 @@ class MachineConfig:
     adapter_recv_dma: float = 0.8
     #: Extra per-packet gap on the wire (framing, CRC, flow control).
     packet_gap: float = 0.15
+    #: Simulator (not machine) switch: let the adapter TX engine
+    #: serialize the interior of a contiguous multi-packet train
+    #: analytically -- one precomputed schedule instead of generator
+    #: round-trips per packet.  Pure performance: engages only when
+    #: per-packet timing is provably deterministic (no loss, no jitter,
+    #: single candidate route, contiguous same-message packets) and the
+    #: resulting virtual times are bit-identical to the packet-by-packet
+    #: path, which equivalence tests assert.  Off = always packet-by-
+    #: packet (debugging aid).
+    fast_trains: bool = True
 
     # ------------------------------------------------------------------
     # Node: 120 MHz P2SC CPU, AIX 4.2.1

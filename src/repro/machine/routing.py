@@ -60,10 +60,21 @@ class SerialResource:
         return finish
 
     def utilization(self, horizon: float) -> float:
-        """Fraction of ``[0, horizon]`` this resource was busy."""
+        """Fraction of ``[0, horizon]`` this resource was busy.
+
+        Service already charged past the horizon (``busy_until`` beyond
+        it -- the backlog is contiguous and ends there) has not elapsed
+        yet and must not count against ``[0, horizon]``; without the
+        subtraction the over-report would hide behind the 1.0 clamp.
+        """
         if horizon <= 0:
             return 0.0
-        return min(1.0, self.total_busy / horizon)
+        elapsed_busy = self.total_busy
+        if self.busy_until > horizon:
+            elapsed_busy -= self.busy_until - horizon
+        if elapsed_busy <= 0.0:
+            return 0.0
+        return min(1.0, elapsed_busy / horizon)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<SerialResource {self.name} busy_until={self.busy_until:.3f}>"

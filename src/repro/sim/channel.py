@@ -53,6 +53,8 @@ class Channel:
         self._getters: deque[Event] = deque()
         self.dropped: int = 0
         self.total_put: int = 0
+        # Formatted once: get() runs per packet on the hot path.
+        self._get_name = f"get:{name}"
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -96,7 +98,7 @@ class Channel:
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        ev = Event(self.sim, name=f"get:{self.name}")
+        ev = Event(self.sim, name=self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
         else:
@@ -124,6 +126,15 @@ class Channel:
         if self._items:
             return True, self._items.popleft()
         return False, None
+
+    def iter_items(self):
+        """Iterate queued items in FIFO order without removing them.
+
+        Consumers that batch work (e.g. the adapter TX engine peeling a
+        packet train off its FIFO) inspect the backlog through this
+        instead of reaching into channel internals.
+        """
+        return iter(self._items)
 
     def peek(self) -> Any:
         """Return the head item without removing it."""

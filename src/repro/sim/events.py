@@ -141,16 +141,28 @@ class Timeout(Event):
     __slots__ = ("delay", "_pending_value")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None,
-                 name: str = "") -> None:
+                 name: str = "", at: Optional[float] = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=name or f"timeout({delay})")
+        # The default name is built lazily in __repr__: timeouts are the
+        # single most-allocated object in a simulation, and untraced runs
+        # must not pay for a format call per packet.
+        super().__init__(sim, name=name)
         self.delay = delay
         # The payload is held aside and only becomes the event's value when
         # the kernel pops the timeout at its due time; until then the event
         # reports untriggered, which is what conditions and waiters expect.
         self._pending_value = value
-        sim._schedule_at(sim.now + delay, self)
+        # ``at`` pins the absolute due time exactly (used by
+        # Simulator.timeout_at); the default path keeps the historical
+        # now + delay float round trip.
+        sim._schedule_at(sim.now + delay if at is None else at, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or f"timeout({self.delay})"
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{label} {state} at {id(self):#x}>"
 
 
 class ConditionValue:
@@ -166,12 +178,21 @@ class ConditionValue:
         self.events = events
 
     def __getitem__(self, key: Event) -> Any:
-        if key not in self.events:
-            raise KeyError(repr(key))
-        return key.value
+        # Identity scan, not ``in``: list containment falls back to
+        # ``==`` per element, which would invoke payload equality on
+        # value-comparable event subclasses and costs a rich-compare
+        # dispatch per entry either way.  Keys are the original event
+        # *objects*, so identity is the correct relation.
+        for ev in self.events:
+            if ev is key:
+                return ev.value
+        raise KeyError(repr(key))
 
     def __contains__(self, key: Event) -> bool:
-        return key in self.events
+        for ev in self.events:
+            if ev is key:
+                return True
+        return False
 
     def __iter__(self):
         return iter(self.events)

@@ -25,6 +25,30 @@ from .process import Process, ProcessGen
 __all__ = ["Simulator"]
 
 
+class _FastTimer:
+    """A heap entry that invokes a bare callback -- no :class:`Event`.
+
+    The hot paths of the machine model (wire delivery, receive-DMA
+    completion, retransmission timers, packet trains) schedule millions
+    of one-shot callbacks per benchmark.  Routing them through
+    :class:`Timeout` pays for an event object, a callbacks list, a
+    closure, and a name string each time; a fast timer is just
+    ``(fn, arg)``.  Scheduled via :meth:`Simulator.call_at`; fires with
+    the same heap ordering an equally-placed timeout would, so
+    converting a timeout to a fast timer never changes virtual time.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn, arg) -> None:
+        self.fn = fn
+        self.arg = arg
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<call_at {label}({self.arg!r})>"
+
+
 class Simulator:
     """Event loop, virtual clock, and process registry.
 
@@ -36,7 +60,8 @@ class Simulator:
 
     def __init__(self, trace: Optional[Any] = None) -> None:
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        #: Pending entries: (when, seq, Event | _FastTimer).
+        self._heap: list[tuple[float, int, Any]] = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
         self._live_processes: set[Process] = set()
@@ -66,9 +91,41 @@ class Simulator:
         """Create an event that fires ``delay`` us from now."""
         return Timeout(self, delay, value=value, name=name)
 
+    def timeout_at(self, when: float, value: Any = None,
+                   name: str = "") -> Timeout:
+        """Timeout firing at absolute virtual time ``when``.
+
+        Unlike ``timeout(when - now)``, the due time is pinned to the
+        exact float ``when`` -- no ``now + delay`` round trip, which can
+        differ in the last ulp.  Used where a sleeper must wake at a time
+        computed elsewhere (e.g. the TX engine sleeping to the end of an
+        analytically scheduled packet train).
+        """
+        return Timeout(self, when - self._now, value=value, name=name,
+                       at=when)
+
     def process(self, gen: ProcessGen, name: str = "") -> Process:
         """Launch ``gen`` as a process; returns the process event."""
         return Process(self, gen, name=name)
+
+    def call_at(self, when: float, fn, arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` at virtual time ``when`` (fast path).
+
+        Allocation-light alternative to ``timeout(delay)`` + callback:
+        no event object, no callbacks list, no name.  The callback runs
+        in kernel context (not on a simulated CPU); it must not block.
+        Use for model-internal delivery/completion/timer callbacks whose
+        only job is to advance machine state at a known instant.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule call_at({when}) before now={self._now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, _FastTimer(fn, arg)))
+
+    def call_after(self, delay: float, fn, arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` after ``delay`` us (see :meth:`call_at`)."""
+        self.call_at(self._now + delay, fn, arg)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Condition that fires when any of ``events`` fires."""
@@ -111,6 +168,12 @@ class Simulator:
             raise SimulationError("step() on an empty event queue")
         when, _, ev = heapq.heappop(self._heap)
         self._now = when
+        if type(ev) is _FastTimer:
+            self.events_processed += 1
+            if self.trace is not None:
+                self.trace.kernel_event(when, ev)
+            ev.fn(ev.arg)
+            return
         if not ev.triggered:
             # Only timeouts sit in the heap untriggered; their due time has
             # arrived, so they trigger now with their held-aside payload.

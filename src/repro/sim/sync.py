@@ -40,6 +40,8 @@ class SimLock:
         self._owner: Any = None
         self._waiters: list[tuple[int, int, Event, Any]] = []
         self._seq = 0
+        # Formatted once: acquire() runs on every CPU grab (hot path).
+        self._acquire_name = f"acquire:{name}"
 
     @property
     def locked(self) -> bool:
@@ -51,7 +53,7 @@ class SimLock:
 
     def acquire(self, owner: Any = None, priority: int = 0) -> Event:
         """Request the lock; the returned event fires once it is held."""
-        ev = Event(self.sim, name=f"acquire:{self.name}")
+        ev = Event(self.sim, name=self._acquire_name)
         if not self._locked:
             self._locked = True
             self._owner = owner
@@ -89,6 +91,8 @@ class Semaphore:
         self.name = name
         self._value = value
         self._waiters: list[Event] = []
+        # Formatted once: wait() runs per packet for credits/windows.
+        self._wait_name = f"wait:{name}"
 
     @property
     def value(self) -> int:
@@ -106,7 +110,7 @@ class Semaphore:
 
     def wait(self) -> Event:
         """Decrement; the returned event fires once a unit was taken."""
-        ev = Event(self.sim, name=f"wait:{self.name}")
+        ev = Event(self.sim, name=self._wait_name)
         if self._value > 0:
             self._value -= 1
             ev.succeed(None)
@@ -134,12 +138,13 @@ class WaitSet:
         self.sim = sim
         self.name = name
         self._waiters: list[Event] = []
+        self._wait_name = f"wait:{name}"
 
     def __len__(self) -> int:
         return len(self._waiters)
 
     def wait(self) -> Event:
-        ev = Event(self.sim, name=f"wait:{self.name}")
+        ev = Event(self.sim, name=self._wait_name)
         self._waiters.append(ev)
         return ev
 
