@@ -17,6 +17,8 @@ verdicts.  ``python -m repro.bench`` runs everything.
 
 from .apps import run_apps
 from .bandwidth import run_fig2
+from .parallel import (JobSpec, SweepExecutor, configure, get_executor,
+                       spread_seed, sweep)
 from .ga_putget import run_fig3, run_fig4, run_ga_latency
 from .latency import run_pipeline_latency, run_table2
 from .report import ExperimentResult, ShapeCheck
@@ -37,7 +39,13 @@ ALL_EXPERIMENTS = {
 __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentResult",
+    "JobSpec",
     "ShapeCheck",
+    "SweepExecutor",
+    "configure",
+    "get_executor",
+    "spread_seed",
+    "sweep",
     "run_apps",
     "run_fig2",
     "run_fig3",

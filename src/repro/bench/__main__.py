@@ -16,13 +16,23 @@ Observability flags (see ``docs/observability.md``):
     records to ``FILE`` as JSONL
     (``time_us, node, subsystem, event, fields``).
 
+Parallelism (see ``docs/performance.md``):
+
+``--jobs N`` / ``--jobs auto``
+    Shard each experiment's independent cluster simulations across N
+    worker processes (``auto`` = usable core count).  Virtual-time
+    results, tables, ``--metrics`` blocks, and trace files are
+    byte-identical to ``--jobs 1``; only wall time changes.  Default
+    is serial.
+
 Performance flags (see ``docs/performance.md``):
 
 ``--perf``
     Measure the simulator itself: wall-clock seconds, kernel events
     processed, and events/second for every experiment plus a dedicated
     2 MB LAPI put probe (``fig2_large``, the hot-path stress case).
-    Writes a JSON report (default ``BENCH_PERF.json``).
+    Writes a JSON report (default ``BENCH_PERF.json``) stamped with
+    host metadata and, under ``--jobs N``, per-worker pool statistics.
 ``--perf-out FILE``
     Where to write the report.
 ``--perf-quick``
@@ -38,7 +48,7 @@ import sys
 import time
 
 from . import ALL_EXPERIMENTS, run_fig2, run_fig3, run_fig4
-from . import runner
+from . import parallel, runner
 from .bandwidth import lapi_bandwidth_point
 from ..obs import write_trace_jsonl
 
@@ -53,16 +63,16 @@ QUICK_SIZES = {
 }
 
 
-def _perf_record(wall: float, clusters) -> dict:
+def _perf_record(wall: float, captures) -> dict:
     """Simulator-performance numbers for one experiment run."""
-    events = sum(c.sim.events_processed for c in clusters)
-    virtual_us = sum(c.sim.now for c in clusters)
+    events = sum(c.events for c in captures)
+    virtual_us = sum(c.now for c in captures)
     return {
         "wall_s": round(wall, 3),
         "events": events,
         "events_per_sec": round(events / wall) if wall > 0 else 0,
         "virtual_us": round(virtual_us, 1),
-        "clusters": len(clusters),
+        "clusters": len(captures),
     }
 
 
@@ -73,6 +83,11 @@ def main(argv: list[str]) -> int:
     parser.add_argument("experiments", nargs="*",
                         help="experiment names (default: all, in paper"
                              f" order: {', '.join(ALL_EXPERIMENTS)})")
+    parser.add_argument("--jobs", type=parallel.parse_jobs, default=1,
+                        metavar="N|auto",
+                        help="worker processes for independent cluster"
+                             " simulations (default: 1, serial;"
+                             " results are byte-identical either way)")
     parser.add_argument("--metrics", action="store_true",
                         help="print per-subsystem metrics blocks")
     parser.add_argument("--trace-out", metavar="FILE", default=None,
@@ -105,6 +120,13 @@ def main(argv: list[str]) -> int:
         runner.configure_observability(metrics=opts.metrics,
                                        trace=opts.trace_out is not None,
                                        capture=opts.perf)
+    # Observability must be armed before the first parallel sweep so
+    # pool workers inherit the flags at initializer time.
+    executor = parallel.configure(jobs=opts.jobs)
+    if opts.jobs > 1:
+        print(f"parallel: sharding sweeps across {opts.jobs} worker"
+              " processes (results identical to --jobs 1)")
+        print()
 
     failed = 0
     trace_lines = 0
@@ -115,38 +137,41 @@ def main(argv: list[str]) -> int:
         result = experiments[name]()
         wall = time.perf_counter() - start
         if observing:
-            clusters = runner.captured_clusters()
+            captures = runner.drain_captures()
             if opts.metrics:
                 result.metrics_blocks = [
                     f"-- metrics: {name} cluster #{i}"
-                    f" ({c.nnodes} nodes @ {c.sim.now:.1f} virtual us)"
-                    f" --\n{c.metrics.render()}"
-                    for i, c in enumerate(clusters)]
+                    f" ({c.nnodes} nodes @ {c.now:.1f} virtual us)"
+                    f" --\n{c.metrics_block}"
+                    for i, c in enumerate(captures)]
             if opts.trace_out is not None:
-                for c in clusters:
-                    if c.trace is None:
+                for c in captures:
+                    if not c.trace:
                         continue
                     trace_lines += write_trace_jsonl(
-                        c.trace.records, opts.trace_out,
+                        c.trace, opts.trace_out,
                         append=not first_trace)
                     first_trace = False
             if opts.perf:
-                perf[name] = _perf_record(wall, clusters)
+                perf[name] = _perf_record(wall, captures)
         print(result.render())
         print(f"(regenerated in {wall:.1f}s wall time)")
         print()
         if not result.all_passed:
             failed += 1
     if opts.trace_out is not None:
+        if first_trace:  # no records anywhere: still create the file
+            open(opts.trace_out, "w", encoding="utf-8").close()
         print(f"wrote {trace_lines} trace records to {opts.trace_out}")
 
     if opts.perf:
         # Dedicated hot-path probe: the large-message end of Figure 2,
-        # where the event kernel dominates wall time.
+        # where the event kernel dominates wall time.  Runs inline (a
+        # single job gains nothing from the pool).
         start = time.perf_counter()
         bw = lapi_bandwidth_point(2097152)
         wall = time.perf_counter() - start
-        perf["fig2_large"] = _perf_record(wall, runner.captured_clusters())
+        perf["fig2_large"] = _perf_record(wall, runner.drain_captures())
         perf["fig2_large"]["bandwidth_mbs"] = round(bw, 2)
         totals = {
             "wall_s": round(sum(p["wall_s"] for p in perf.values()), 3),
@@ -155,14 +180,23 @@ def main(argv: list[str]) -> int:
         totals["events_per_sec"] = (
             round(totals["events"] / totals["wall_s"])
             if totals["wall_s"] > 0 else 0)
-        report = {"schema": 1, "quick": opts.perf_quick,
+        report = {"schema": 2, "quick": opts.perf_quick,
+                  "host": parallel.host_record(opts.jobs),
                   "experiments": perf, "totals": totals}
+        if opts.jobs > 1:
+            report["parallel"] = executor.stats.record()
         with open(opts.perf_out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"perf: {totals['events']} events in {totals['wall_s']}s"
               f" ({totals['events_per_sec']:,} events/s)"
               f" -> {opts.perf_out}")
+        if opts.jobs > 1:
+            stats = executor.stats.record()
+            print(f"pool: {stats['jobs_run']} jobs on {opts.jobs}"
+                  f" workers, speedup {stats['speedup']}x"
+                  f" (efficiency {stats['efficiency']})")
+    parallel.shutdown()
     if failed:
         print(f"{failed} experiment(s) had failing shape checks")
         return 1

@@ -21,9 +21,9 @@ from ..ga.config import GA_DEFAULTS
 from ..machine.config import SP_1998, MachineConfig
 from .bandwidth import lapi_bandwidth_point, mpl_bandwidth_point
 from .ga_putget import ga_transfer_rate
-from .latency import lapi_pingpong
+from .latency import lapi_pingpong_job
+from .parallel import JobSpec, sweep
 from .report import ExperimentResult
-from .runner import fresh_cluster
 
 __all__ = ["run_ablation_header", "run_ablation_eager",
            "run_ablation_chunk", "run_ablation_hybrid",
@@ -48,17 +48,19 @@ def run_ablation_noncontig(config: MachineConfig = SP_1998
             get_strided_rmc_threshold=512 * 1024),
         "vector putv/getv": GA_DEFAULTS.replace(use_vector_rmc=True),
     }
+    combos = [(name, n) for name in variants for n in sizes]
+    values = sweep([JobSpec(ga_transfer_rate,
+                            ("lapi", op, "2d", n, config,
+                             variants[name]),
+                            key=("ablation_noncontig", name, op, n))
+                    for name, n in combos for op in ("put", "get")])
     rows = []
     rates: dict[tuple[str, str, int], float] = {}
-    for name, gcfg in variants.items():
-        for n in sizes:
-            put = ga_transfer_rate("lapi", "put", "2d", n, config,
-                                   gcfg)
-            get = ga_transfer_rate("lapi", "get", "2d", n, config,
-                                   gcfg)
-            rates[(name, "put", n)] = put
-            rates[(name, "get", n)] = get
-            rows.append([name, n, put, get])
+    for i, (name, n) in enumerate(combos):
+        put, get = values[2 * i], values[2 * i + 1]
+        rates[(name, "put", n)] = put
+        rates[(name, "get", n)] = get
+        rows.append([name, n, put, get])
     result = ExperimentResult(
         experiment="ablation_noncontig",
         title="Strided 2-D GA transfers: hybrid vs per-column vs"
@@ -87,14 +89,19 @@ def run_ablation_header(config: MachineConfig = SP_1998
     """Sweep the LAPI packet header size (future-work item #1)."""
     headers = [16, 32, 48, 96]
     probe_small, probe_large = 4096, 2 * 1024 * 1024
+    configs = {hdr: config.replace(lapi_header=hdr)
+               for hdr in headers}
+    values = sweep([JobSpec(lapi_bandwidth_point,
+                            (probe, configs[hdr]),
+                            key=("ablation_header", hdr, probe))
+                    for hdr in headers
+                    for probe in (probe_small, probe_large)])
     rows = []
     peaks = {}
-    for hdr in headers:
-        cfg = config.replace(lapi_header=hdr)
-        small = lapi_bandwidth_point(probe_small, cfg)
-        large = lapi_bandwidth_point(probe_large, cfg)
+    for i, hdr in enumerate(headers):
+        small, large = values[2 * i], values[2 * i + 1]
         peaks[hdr] = large
-        rows.append([hdr, cfg.lapi_payload, small, large])
+        rows.append([hdr, configs[hdr].lapi_payload, small, large])
     result = ExperimentResult(
         experiment="ablation_header",
         title="LAPI header size vs bandwidth [MB/s]",
@@ -118,11 +125,12 @@ def run_ablation_eager(config: MachineConfig = SP_1998
     """Sweep MP_EAGER_LIMIT at a rendezvous-sensitive message size."""
     probe = 8192  # the size where Figure 2's kink is clearest
     limits = [1024, 4096, 8192, 65536]
+    values = sweep([JobSpec(mpl_bandwidth_point, (probe, limit, config),
+                            key=("ablation_eager", limit))
+                    for limit in limits])
     rows = []
     bws = {}
-    for limit in limits:
-        bw = mpl_bandwidth_point(probe, eager_limit=limit,
-                                 config=config)
+    for limit, bw in zip(limits, values):
         bws[limit] = bw
         protocol = "eager" if probe <= limit else "rendezvous"
         rows.append([limit, protocol, bw])
@@ -146,13 +154,13 @@ def run_ablation_chunk(config: MachineConfig = SP_1998
     """Sweep GA's AM chunk payload for a medium strided put."""
     probe = 32768  # 64x64 doubles, strided
     caps = [128, 256, 512, None]
+    rates = sweep([JobSpec(ga_transfer_rate,
+                           ("lapi", "put", "2d", probe, config,
+                            GA_DEFAULTS.replace(am_chunk_cap=cap)),
+                           key=("ablation_chunk", cap))
+                   for cap in caps])
     rows = []
-    rates = []
-    for cap in caps:
-        gcfg = GA_DEFAULTS.replace(am_chunk_cap=cap)
-        rate = ga_transfer_rate("lapi", "put", "2d", probe, config,
-                                gcfg)
-        rates.append(rate)
+    for cap, rate in zip(caps, rates):
         label = cap if cap is not None else "~900 (1 packet)"
         rows.append([label, rate])
     result = ExperimentResult(
@@ -177,12 +185,14 @@ def run_ablation_hybrid(config: MachineConfig = SP_1998
     """Sweep the strided AM->RMC switch threshold (section 5.3)."""
     probe = 524288  # the paper's 0.5MB switch point
     thresholds = [65536, 262144, 524288, 4 * 1024 * 1024]
+    values = sweep([JobSpec(
+        ga_transfer_rate,
+        ("lapi", "put", "2d", probe, config,
+         GA_DEFAULTS.replace(strided_rmc_threshold=thr)),
+        key=("ablation_hybrid", thr)) for thr in thresholds])
     rows = []
     rates = {}
-    for thr in thresholds:
-        gcfg = GA_DEFAULTS.replace(strided_rmc_threshold=thr)
-        rate = ga_transfer_rate("lapi", "put", "2d", probe, config,
-                                gcfg)
+    for thr, rate in zip(thresholds, values):
         protocol = "per-column RMC" if probe >= thr else "AM chunks"
         rates[thr] = rate
         rows.append([thr, protocol, rate])
@@ -204,14 +214,17 @@ def run_ablation_interrupt(config: MachineConfig = SP_1998
                            ) -> ExperimentResult:
     """Sweep the hardware interrupt cost; watch Table 2's gap move."""
     costs = [2.0, 8.0, 14.0, 30.0, 60.0]
+    values = sweep([JobSpec(lapi_pingpong_job,
+                            (config.replace(interrupt_latency=cost),),
+                            {"interrupt_mode": interrupt_mode},
+                            key=("ablation_interrupt", cost,
+                                 interrupt_mode))
+                    for cost in costs
+                    for interrupt_mode in (False, True)])
     rows = []
     gaps = []
-    for cost in costs:
-        cfg = config.replace(interrupt_latency=cost)
-        _, rt_poll = lapi_pingpong(fresh_cluster(2, cfg),
-                                   interrupt_mode=False)
-        _, rt_int = lapi_pingpong(fresh_cluster(2, cfg),
-                                  interrupt_mode=True)
+    for i, cost in enumerate(costs):
+        (_, rt_poll), (_, rt_int) = values[2 * i], values[2 * i + 1]
         gaps.append(rt_int - rt_poll)
         rows.append([cost, rt_poll, rt_int, rt_int - rt_poll])
     result = ExperimentResult(

@@ -24,10 +24,11 @@ from ..apps import (ga_matmul, ga_transpose, jacobi_sweeps,
                     md_step_loop, scf_iteration)
 from ..machine.config import SP_1998, MachineConfig
 from .paper import APPS
+from .parallel import JobSpec, sweep
 from .report import ExperimentResult
 from .runner import fresh_cluster
 
-__all__ = ["run_apps", "app_elapsed"]
+__all__ = ["run_apps", "app_elapsed", "apps_jobs"]
 
 
 def _scf_driver(task):
@@ -88,13 +89,22 @@ def app_elapsed(driver: Callable, backend: str,
     return max(float(r) for r in results)
 
 
+def apps_jobs(config: MachineConfig = SP_1998) -> list[JobSpec]:
+    """Every kernel/backend combination as an independent job spec
+    (each runs its own 4-node cluster), in serial loop order."""
+    return [JobSpec(app_elapsed, (driver, backend, config),
+                    key=("apps", name, backend))
+            for name, driver in KERNELS.items()
+            for backend in ("lapi", "mpl")]
+
+
 def run_apps(config: MachineConfig = SP_1998) -> ExperimentResult:
     """Regenerate the application-improvement comparison."""
+    elapsed = sweep(apps_jobs(config))
     rows = []
     improvements = []
-    for name, driver in KERNELS.items():
-        lapi_us = app_elapsed(driver, "lapi", config)
-        mpl_us = app_elapsed(driver, "mpl", config)
+    for i, name in enumerate(KERNELS):
+        lapi_us, mpl_us = elapsed[2 * i], elapsed[2 * i + 1]
         improvement = 100.0 * (mpl_us - lapi_us) / mpl_us
         improvements.append((name, improvement))
         rows.append([name, lapi_us, mpl_us, improvement])

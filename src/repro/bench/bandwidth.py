@@ -21,11 +21,12 @@ from typing import Optional
 
 from ..machine.config import SP_1998, MachineConfig
 from .paper import FIG2
+from .parallel import JobSpec, sweep
 from .report import ExperimentResult
 from .runner import SIZE_SWEEP, bandwidth_mbs, fresh_cluster, mean, \
     reps_for_size
 
-__all__ = ["run_fig2", "lapi_bandwidth", "mpl_bandwidth",
+__all__ = ["run_fig2", "fig2_jobs", "lapi_bandwidth", "mpl_bandwidth",
            "lapi_bandwidth_point", "mpl_bandwidth_point",
            "half_peak_size"]
 
@@ -92,12 +93,29 @@ def mpl_bandwidth_point(nbytes: int, eager_limit: Optional[int] = None,
 
 
 def lapi_bandwidth(sizes=SIZE_SWEEP, config: MachineConfig = SP_1998):
-    return [lapi_bandwidth_point(n, config) for n in sizes]
+    return sweep([JobSpec(lapi_bandwidth_point, (n, config),
+                          key=("lapi_bw", n)) for n in sizes])
 
 
 def mpl_bandwidth(sizes=SIZE_SWEEP, eager_limit: Optional[int] = None,
                   config: MachineConfig = SP_1998):
-    return [mpl_bandwidth_point(n, eager_limit, config) for n in sizes]
+    return sweep([JobSpec(mpl_bandwidth_point, (n, eager_limit, config),
+                          key=("mpl_bw", eager_limit, n))
+                  for n in sizes])
+
+
+def fig2_jobs(config: MachineConfig = SP_1998,
+              sizes=SIZE_SWEEP) -> list[JobSpec]:
+    """Figure 2 as declarative job specs: three series per size, in
+    the exact order the serial loops used to build clusters."""
+    specs = [JobSpec(lapi_bandwidth_point, (n, config),
+                     key=("fig2", "lapi", n)) for n in sizes]
+    specs += [JobSpec(mpl_bandwidth_point, (n, None, config),
+                      key=("fig2", "mpi_default", n)) for n in sizes]
+    specs += [JobSpec(mpl_bandwidth_point,
+                      (n, config.mpl_eager_limit_max, config),
+                      key=("fig2", "mpi_eager", n)) for n in sizes]
+    return specs
 
 
 def half_peak_size(sizes, series) -> int:
@@ -112,9 +130,12 @@ def half_peak_size(sizes, series) -> int:
 def run_fig2(config: MachineConfig = SP_1998,
              sizes=SIZE_SWEEP) -> ExperimentResult:
     """Regenerate Figure 2's three bandwidth curves."""
-    lapi = lapi_bandwidth(sizes, config)
-    mpi_default = mpl_bandwidth(sizes, None, config)
-    mpi_eager = mpl_bandwidth(sizes, config.mpl_eager_limit_max, config)
+    sizes = list(sizes)
+    values = sweep(fig2_jobs(config, sizes))
+    k = len(sizes)
+    lapi = values[:k]
+    mpi_default = values[k:2 * k]
+    mpi_eager = values[2 * k:]
 
     rows = [[n, l, d, e] for n, l, d, e
             in zip(sizes, lapi, mpi_default, mpi_eager)]

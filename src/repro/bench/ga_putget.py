@@ -22,11 +22,16 @@ from typing import Optional
 from ..ga.config import GA_DEFAULTS, GaConfig
 from ..machine.config import SP_1998, MachineConfig
 from .paper import GA_LATENCY
+from .parallel import JobSpec, sweep
 from .report import ExperimentResult
 from .runner import bandwidth_mbs, fresh_cluster, mean
 
 __all__ = ["run_fig3", "run_fig4", "run_ga_latency",
-           "ga_transfer_rate", "GA_SIZE_SWEEP"]
+           "ga_transfer_rate", "figure_jobs", "GA_SIZE_SWEEP"]
+
+#: Backend/kind series of Figures 3-4, in serial construction order.
+_SERIES = [("lapi", "1d"), ("lapi", "2d"), ("mpl", "1d"),
+           ("mpl", "2d")]
 
 #: Transfer sizes for Figures 3/4 (8 B to 2 MB).
 GA_SIZE_SWEEP = [8, 64, 512, 2048, 8192, 32768, 131072, 524288,
@@ -103,14 +108,23 @@ def ga_transfer_rate(backend: str, op: str, kind: str, nbytes: int,
     return bandwidth_mbs(nbytes, records["per_op"])
 
 
+def figure_jobs(op: str, config: MachineConfig = SP_1998,
+                sizes=GA_SIZE_SWEEP) -> list[JobSpec]:
+    """One Figure-3/4 sweep as specs: every (backend, kind, size)
+    combination is an independent 4-node cluster simulation."""
+    figure = "fig3" if op == "put" else "fig4"
+    return [JobSpec(ga_transfer_rate, (backend, op, kind, n, config),
+                    key=(figure, backend, kind, n))
+            for backend, kind in _SERIES for n in sizes]
+
+
 def _figure(op: str, config: MachineConfig,
             sizes) -> ExperimentResult:
-    series = {}
-    for backend in ("lapi", "mpl"):
-        for kind in ("1d", "2d"):
-            series[(backend, kind)] = [
-                ga_transfer_rate(backend, op, kind, n, config)
-                for n in sizes]
+    sizes = list(sizes)
+    values = sweep(figure_jobs(op, config, sizes))
+    k = len(sizes)
+    series = {combo: values[i * k:(i + 1) * k]
+              for i, combo in enumerate(_SERIES)}
     rows = [[n,
              series[("lapi", "1d")][i], series[("lapi", "2d")][i],
              series[("mpl", "1d")][i], series[("mpl", "2d")][i]]
@@ -172,11 +186,14 @@ def run_fig4(config: MachineConfig = SP_1998,
 def run_ga_latency(config: MachineConfig = SP_1998
                    ) -> ExperimentResult:
     """Regenerate the section 5.4 single-element latency numbers."""
-    measured = {}
-    for op in ("get", "put"):
-        for backend in ("lapi", "mpl"):
-            rate = ga_transfer_rate(backend, op, "1d", 8, config)
-            measured[(op, backend)] = 8.0 / rate  # us per element
+    combos = [(op, backend) for op in ("get", "put")
+              for backend in ("lapi", "mpl")]
+    rates = sweep([JobSpec(ga_transfer_rate,
+                           (backend, op, "1d", 8, config),
+                           key=("ga_lat", op, backend))
+                   for op, backend in combos])
+    measured = {combo: 8.0 / rate  # us per element
+                for combo, rate in zip(combos, rates)}
     result = ExperimentResult(
         experiment="ga_lat",
         title="GA single-element (8-byte) latency [us]",

@@ -22,11 +22,13 @@ from typing import Generator
 
 from ..machine.config import SP_1998, MachineConfig
 from .paper import PIPELINE, TABLE2
+from .parallel import JobSpec, sweep
 from .report import ExperimentResult
 from .runner import fresh_cluster, mean
 
 __all__ = ["run_table2", "run_pipeline_latency", "lapi_pingpong",
-           "mpl_pingpong"]
+           "mpl_pingpong", "lapi_pingpong_job", "mpl_pingpong_job",
+           "table2_jobs", "pipeline_latency_job"]
 
 #: Ping-pong repetitions (first is treated as warm-up).
 REPS = 12
@@ -113,16 +115,44 @@ def mpl_pingpong(cluster, *, interrupt_mode: bool,
     return mean(one_way), mean(records["round_trip"])
 
 
+def lapi_pingpong_job(config: MachineConfig = SP_1998, *,
+                      interrupt_mode: bool = False):
+    """Self-contained LAPI ping-pong job (builds its own cluster)."""
+    return lapi_pingpong(fresh_cluster(2, config),
+                         interrupt_mode=interrupt_mode)
+
+
+def mpl_pingpong_job(config: MachineConfig = SP_1998, *,
+                     interrupt_mode: bool = False,
+                     use_rcvncall: bool = False):
+    """Self-contained MPL ping-pong job (builds its own cluster)."""
+    return mpl_pingpong(fresh_cluster(2, config),
+                        interrupt_mode=interrupt_mode,
+                        use_rcvncall=use_rcvncall)
+
+
+def table2_jobs(config: MachineConfig = SP_1998) -> list[JobSpec]:
+    """Table 2's four independent cluster measurements as specs."""
+    return [
+        JobSpec(lapi_pingpong_job, (config,),
+                {"interrupt_mode": False},
+                key=("table2", "lapi", "polling")),
+        JobSpec(lapi_pingpong_job, (config,),
+                {"interrupt_mode": True},
+                key=("table2", "lapi", "interrupt")),
+        JobSpec(mpl_pingpong_job, (config,),
+                {"interrupt_mode": False},
+                key=("table2", "mpl", "polling")),
+        JobSpec(mpl_pingpong_job, (config,),
+                {"interrupt_mode": True, "use_rcvncall": True},
+                key=("table2", "mpl", "interrupt")),
+    ]
+
+
 def run_table2(config: MachineConfig = SP_1998) -> ExperimentResult:
     """Regenerate Table 2: LAPI vs MPI/MPL latency."""
-    lapi_ow, lapi_rt = lapi_pingpong(fresh_cluster(2, config),
-                                     interrupt_mode=False)
-    _, lapi_irt = lapi_pingpong(fresh_cluster(2, config),
-                                interrupt_mode=True)
-    mpl_ow, mpl_rt = mpl_pingpong(fresh_cluster(2, config),
-                                  interrupt_mode=False)
-    _, mpl_irt = mpl_pingpong(fresh_cluster(2, config),
-                              interrupt_mode=True, use_rcvncall=True)
+    ((lapi_ow, lapi_rt), (_, lapi_irt),
+     (mpl_ow, mpl_rt), (_, mpl_irt)) = sweep(table2_jobs(config))
 
     result = ExperimentResult(
         experiment="table2",
@@ -154,9 +184,8 @@ def run_table2(config: MachineConfig = SP_1998) -> ExperimentResult:
     return result
 
 
-def run_pipeline_latency(config: MachineConfig = SP_1998
-                         ) -> ExperimentResult:
-    """Regenerate the section-4 pipeline-latency numbers."""
+def pipeline_latency_job(config: MachineConfig = SP_1998):
+    """Measure non-blocking call return times; returns (put, get) us."""
     records = {}
 
     def main(task):
@@ -183,7 +212,15 @@ def run_pipeline_latency(config: MachineConfig = SP_1998
         yield from lapi.gfence()
 
     fresh_cluster(2, config).run_job(main, stacks=("lapi",))
-    put_us, get_us = records["put"], records["get"]
+    return records["put"], records["get"]
+
+
+def run_pipeline_latency(config: MachineConfig = SP_1998
+                         ) -> ExperimentResult:
+    """Regenerate the section-4 pipeline-latency numbers."""
+    [(put_us, get_us)] = sweep([
+        JobSpec(pipeline_latency_job, (config,),
+                key=("pipeline", "lapi"))])
     result = ExperimentResult(
         experiment="pipeline",
         title="Pipeline latency: non-blocking call return time [us]",

@@ -1,0 +1,334 @@
+"""Parallel sweep engine: shard independent simulations across cores.
+
+Every experiment in the evaluation is a sweep of *independent*
+fresh-cluster simulations (one cluster per measured point), so the
+natural horizontal speedup is a worker pool: turn each inline sweep
+loop into a list of declarative :class:`JobSpec` records, execute them
+across ``N`` worker processes, and merge the results back **by job
+key** so the output is byte-identical to a serial run.
+
+Determinism contract
+--------------------
+* A job is a pure function of its spec: a module-level callable plus
+  pickled arguments (configs are frozen dataclasses).  Nothing a job
+  computes depends on which worker ran it or when.
+* Results and observability captures are merged in **spec submission
+  order, keyed by the job key**, never in completion order.  Tables,
+  ``--metrics`` blocks, trace files, and virtual-time sums are
+  therefore byte-identical between ``--jobs 1`` and ``--jobs N``.
+* Per-job seeds are part of the spec, derived up front with a
+  SplitMix64-style spread (:func:`spread_seed`) where an experiment
+  wants distinct shards -- there is no shared RNG between jobs, so
+  sharding cannot perturb any stream.
+
+The serial path (``jobs=1``, the default) runs specs inline, in
+order, through exactly the code path a direct call would take; tier-1
+behaviour is unchanged unless ``--jobs`` is raised.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from . import runner
+
+__all__ = ["JobSpec", "SweepExecutor", "sweep", "get_executor",
+           "set_executor", "configure", "shutdown", "spread_seed",
+           "parse_jobs", "auto_jobs", "host_record"]
+
+_U64 = (1 << 64) - 1
+
+#: Set in worker processes so nested sweeps degrade to serial instead
+#: of forking pools from pool workers.
+_IN_WORKER = False
+
+
+def spread_seed(base: int, index: int) -> int:
+    """SplitMix64 spread: a distinct, stable seed per job index.
+
+    Jobs of one sweep share a ``base`` (the experiment seed) and get
+    well-separated 64-bit seeds, so shards never couple through a
+    shared RNG stream and the derivation is reproducible from the spec
+    alone (no call-order dependence).
+    """
+    z = (base + (index + 1) * 0x9E3779B97F4A7C15) & _U64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _U64
+    return (z ^ (z >> 31)) & _U64
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent simulation job of a sweep.
+
+    ``fn`` must be a module-level callable (worker processes import it
+    by reference) and every argument picklable.  ``key`` is the job's
+    stable identity -- experiment name, series, message size, ... --
+    used for the deterministic merge; it must be unique within a
+    sweep.  Specs with an empty key get ``(module, qualname, index)``
+    derived at submission.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    key: tuple = ()
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+def _resolved_keys(specs: Sequence[JobSpec]) -> list[tuple]:
+    keys = []
+    for index, spec in enumerate(specs):
+        keys.append(tuple(spec.key) if spec.key
+                    else (spec.fn.__module__, spec.fn.__qualname__,
+                          index))
+    seen: set[tuple] = set()
+    for key in keys:
+        if key in seen:
+            raise ValueError(f"duplicate job key {key!r}: the"
+                             " deterministic merge needs unique keys")
+        seen.add(key)
+    return keys
+
+
+# ----------------------------------------------------------------------
+# worker-side execution
+# ----------------------------------------------------------------------
+
+def _worker_init(obs_kwargs: dict) -> None:
+    """Arm each worker's private observability switchboard."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    runner.configure_observability(**obs_kwargs)
+
+
+def _execute(payload: tuple[int, JobSpec]) -> tuple:
+    """Run one spec in a worker; ship the result and obs captures.
+
+    Both wall and CPU time are measured: CPU time is the honest
+    serial-equivalent cost (a worker's wall clock keeps ticking while
+    it is descheduled on an oversubscribed host), wall time shows pool
+    occupancy.
+    """
+    index, spec = payload
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    value = spec.run()
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - start
+    captures = [runner.capture_cluster(c)
+                for c in runner.captured_clusters()]
+    events = sum(c.events for c in captures)
+    return index, os.getpid(), wall, cpu, events, value, captures
+
+
+# ----------------------------------------------------------------------
+# pool statistics (fed into BENCH_PERF.json by the CLI)
+# ----------------------------------------------------------------------
+
+@dataclass
+class _WorkerStats:
+    jobs: int = 0
+    busy_s: float = 0.0
+    cpu_s: float = 0.0
+    events: int = 0
+
+
+@dataclass
+class PoolStats:
+    """Accumulated across every parallel sweep of one executor."""
+
+    jobs: int
+    sweeps: int = 0
+    jobs_run: int = 0
+    serial_equivalent_s: float = 0.0
+    wall_s: float = 0.0
+    workers: dict[int, _WorkerStats] = field(default_factory=dict)
+
+    def note_job(self, pid: int, wall: float, cpu: float,
+                 events: int) -> None:
+        w = self.workers.setdefault(pid, _WorkerStats())
+        w.jobs += 1
+        w.busy_s += wall
+        w.cpu_s += cpu
+        w.events += events
+        self.jobs_run += 1
+        # CPU time, not worker wall: on an oversubscribed host a
+        # worker's wall clock ticks while it is descheduled, which
+        # would overstate what a serial run would have cost.
+        self.serial_equivalent_s += cpu
+
+    def note_sweep(self, elapsed: float) -> None:
+        self.sweeps += 1
+        self.wall_s += elapsed
+
+    def record(self) -> dict:
+        """JSON-ready summary: per-worker throughput, pool efficiency,
+        and the aggregate speedup over a serial execution of the same
+        jobs (sum of per-job CPU seconds / actual pool wall)."""
+        workers = {}
+        for i, pid in enumerate(sorted(self.workers)):
+            w = self.workers[pid]
+            workers[f"w{i}"] = {
+                "jobs": w.jobs,
+                "busy_s": round(w.busy_s, 3),
+                "cpu_s": round(w.cpu_s, 3),
+                "events": w.events,
+                "events_per_sec": (round(w.events / w.cpu_s)
+                                   if w.cpu_s > 0 else 0),
+            }
+        speedup = (self.serial_equivalent_s / self.wall_s
+                   if self.wall_s > 0 else 0.0)
+        return {
+            "jobs": self.jobs,
+            "sweeps": self.sweeps,
+            "jobs_run": self.jobs_run,
+            "serial_equivalent_s": round(self.serial_equivalent_s, 3),
+            "wall_s": round(self.wall_s, 3),
+            "speedup": round(speedup, 2),
+            "efficiency": (round(speedup / self.jobs, 3)
+                           if self.jobs > 0 else 0.0),
+            "workers": workers,
+        }
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+
+class SweepExecutor:
+    """Runs job specs serially (``jobs=1``) or on a process pool.
+
+    The pool is created lazily on the first parallel sweep (after the
+    CLI has armed observability, so workers inherit the flags) and
+    reused across sweeps so per-worker statistics aggregate over the
+    whole run.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+        self.stats = PoolStats(jobs=self.jobs)
+        self._pool = None
+
+    # -- pool lifecycle -------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn")
+            self._pool = ctx.Pool(
+                processes=self.jobs, initializer=_worker_init,
+                initargs=(runner.observability_kwargs(),))
+        return self._pool
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    # -- execution ------------------------------------------------------
+    def map(self, specs: Sequence[JobSpec]) -> list[Any]:
+        """Run every spec; results in spec order, merged by job key."""
+        specs = list(specs)
+        keys = _resolved_keys(specs)
+        if not specs:
+            return []
+        if self.jobs <= 1 or len(specs) == 1 or _IN_WORKER:
+            return [spec.run() for spec in specs]
+
+        pool = self._ensure_pool()
+        start = time.perf_counter()
+        values: dict[tuple, Any] = {}
+        captures: dict[tuple, list] = {}
+        for index, pid, wall, cpu, events, value, caps in \
+                pool.imap_unordered(_execute, list(enumerate(specs)),
+                                    chunksize=1):
+            key = keys[index]
+            values[key] = value
+            captures[key] = caps
+            self.stats.note_job(pid, wall, cpu, events)
+        self.stats.note_sweep(time.perf_counter() - start)
+        # Deterministic merge: reassemble results *and* observability
+        # captures in spec order by key, never completion order.
+        for key in keys:
+            runner.record_captures(captures[key])
+        return [values[key] for key in keys]
+
+
+#: Process-wide executor consulted by the experiment modules.
+_EXECUTOR = SweepExecutor(jobs=1)
+
+
+def get_executor() -> SweepExecutor:
+    return _EXECUTOR
+
+
+def set_executor(executor: SweepExecutor) -> SweepExecutor:
+    """Install ``executor`` globally, shutting down the previous one."""
+    global _EXECUTOR
+    _EXECUTOR.shutdown()
+    _EXECUTOR = executor
+    return executor
+
+
+def configure(jobs: int = 1) -> SweepExecutor:
+    """Install a fresh executor with ``jobs`` workers (1 == serial)."""
+    return set_executor(SweepExecutor(jobs=jobs))
+
+
+def shutdown() -> None:
+    """Tear down the global executor's pool (stats are retained)."""
+    _EXECUTOR.shutdown()
+
+
+def sweep(specs: Sequence[JobSpec]) -> list[Any]:
+    """Run ``specs`` on the installed executor; results in spec order."""
+    return _EXECUTOR.map(specs)
+
+
+# ----------------------------------------------------------------------
+# CLI / report helpers
+# ----------------------------------------------------------------------
+
+def auto_jobs() -> int:
+    """Worker count for ``--jobs auto``: the usable core count."""
+    if hasattr(os, "sched_getaffinity"):
+        return max(1, len(os.sched_getaffinity(0)))
+    return max(1, os.cpu_count() or 1)
+
+
+def parse_jobs(value: str) -> int:
+    """argparse type for ``--jobs``: a positive int or ``auto``."""
+    if value == "auto":
+        return auto_jobs()
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
+    return jobs
+
+
+def host_record(jobs: int) -> dict:
+    """Host metadata stamped into ``BENCH_PERF.json`` so the perf
+    trajectory stays comparable across machines and job counts."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "cpus_usable": auto_jobs(),
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "jobs": jobs,
+    }

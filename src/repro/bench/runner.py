@@ -14,15 +14,19 @@ JSONL trace after the experiment finishes.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 from ..machine import Cluster
 from ..machine.config import SP_1998, MachineConfig
+from ..obs import record_to_dict
 from ..sim import Tracer
 
 __all__ = ["fresh_cluster", "mean", "reps_for_size", "SIZE_SWEEP",
            "bandwidth_mbs", "configure_observability",
-           "captured_clusters"]
+           "captured_clusters", "ClusterCapture", "capture_cluster",
+           "record_captures", "drain_captures",
+           "observability_kwargs"]
 
 #: Message-size sweep of Figure 2 (16 bytes to 2 MB).
 SIZE_SWEEP = [16, 64, 256, 1024, 4096, 8192, 16384, 32768, 65536,
@@ -41,6 +45,9 @@ class _Observability:
         self.trace_limit = 250_000
         self.trace_categories: Optional[Sequence[str]] = None
         self.clusters: list[Cluster] = []
+        #: Captures shipped back from sweep-engine workers (see
+        #: ``repro.bench.parallel``), already in job-spec order.
+        self.captures: list["ClusterCapture"] = []
 
 
 _OBS = _Observability()
@@ -58,6 +65,15 @@ def configure_observability(*, metrics: bool = False, trace: bool = False,
     _OBS.trace_limit = trace_limit
     _OBS.trace_categories = trace_categories
     _OBS.clusters = []
+    _OBS.captures = []
+
+
+def observability_kwargs() -> dict:
+    """The armed capture flags, in :func:`configure_observability`
+    keyword form -- what the sweep engine replays in each worker."""
+    return {"metrics": _OBS.collect_metrics, "trace": _OBS.trace,
+            "capture": _OBS.capture, "trace_limit": _OBS.trace_limit,
+            "trace_categories": _OBS.trace_categories}
 
 
 def captured_clusters() -> list[Cluster]:
@@ -65,6 +81,57 @@ def captured_clusters() -> list[Cluster]:
     clusters = _OBS.clusters
     _OBS.clusters = []
     return clusters
+
+
+@dataclass
+class ClusterCapture:
+    """Picklable observability summary of one finished cluster.
+
+    Everything the CLI reads after an experiment -- kernel event
+    counts, final virtual time, the rendered ``--metrics`` block, and
+    serialized trace records -- without the (unpicklable) live
+    cluster.  Sweep-engine workers ship these back to the parent; the
+    serial path converts live clusters lazily, so both modes feed the
+    CLI byte-identical material.
+    """
+
+    nnodes: int
+    now: float
+    events: int
+    metrics_block: Optional[str] = None
+    trace: list[dict] = field(default_factory=list)
+
+
+def capture_cluster(cluster: Cluster) -> ClusterCapture:
+    """Condense a finished cluster into a :class:`ClusterCapture`."""
+    metrics_block = (cluster.metrics.render()
+                     if _OBS.collect_metrics else None)
+    trace = ([record_to_dict(r) for r in cluster.trace.records]
+             if cluster.trace is not None else [])
+    return ClusterCapture(nnodes=cluster.nnodes, now=cluster.sim.now,
+                          events=cluster.sim.events_processed,
+                          metrics_block=metrics_block, trace=trace)
+
+
+def record_captures(captures: Sequence[ClusterCapture]) -> None:
+    """Append worker-shipped captures (sweep engine, in job order)."""
+    _OBS.captures.extend(captures)
+
+
+def drain_captures() -> list[ClusterCapture]:
+    """Drain all capture state as :class:`ClusterCapture` records.
+
+    Worker-shipped captures come first (the sweep engine records them
+    in job-spec order), then any live clusters built in-process,
+    converted in construction order.  An experiment never mixes the
+    two within one drain: either its jobs all ran on the pool or all
+    ran inline.
+    """
+    captures = _OBS.captures
+    clusters = _OBS.clusters
+    _OBS.captures = []
+    _OBS.clusters = []
+    return captures + [capture_cluster(c) for c in clusters]
 
 
 def fresh_cluster(nnodes: int = 2, config: MachineConfig = SP_1998,
@@ -102,7 +169,15 @@ def reps_for_size(nbytes: int, *, budget_bytes: int = 1 << 20,
 
 
 def bandwidth_mbs(nbytes: int, elapsed_us: float) -> float:
-    """Bytes over microseconds is numerically MB/s."""
+    """Bytes over microseconds is numerically MB/s.
+
+    A non-positive elapsed time is always a measurement bug (virtual
+    clocks never run backwards and every transfer costs time); raising
+    keeps a zero-duration defect from turning into an ``inf`` that
+    silently contaminates a ``mean()`` over a sweep.
+    """
     if elapsed_us <= 0:
-        return float("inf")
+        raise ValueError(
+            f"bandwidth_mbs: non-positive elapsed time {elapsed_us}us"
+            f" for {nbytes} bytes (zero-duration measurement bug)")
     return nbytes / elapsed_us

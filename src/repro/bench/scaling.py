@@ -23,16 +23,24 @@ from __future__ import annotations
 import math
 
 from ..machine.config import SP_1998, MachineConfig
+from .parallel import JobSpec, spread_seed, sweep
 from .report import ExperimentResult
 from .runner import fresh_cluster, mean
 
-__all__ = ["run_scaling", "gfence_latency", "alltoall_aggregate"]
+__all__ = ["run_scaling", "scaling_jobs", "gfence_latency",
+           "alltoall_aggregate", "SCALING_SEED"]
 
 NODE_COUNTS = [2, 4, 8, 16]
 
+#: Experiment base seed; each job derives its own cluster seed via the
+#: SplitMix spread so shards stay RNG-independent however they are
+#: scheduled (the 8- and 16-node runs exercise multipath routing and
+#: so genuinely consume their streams).
+SCALING_SEED = 0xBE1
+
 
 def gfence_latency(nnodes: int, config: MachineConfig = SP_1998,
-                   reps: int = 8) -> float:
+                   reps: int = 8, seed: int = 0xBE1) -> float:
     """Mean LAPI_Gfence completion time at ``nnodes`` tasks [us]."""
     records = {}
 
@@ -47,12 +55,14 @@ def gfence_latency(nnodes: int, config: MachineConfig = SP_1998,
         if task.rank == 0:
             records["mean"] = mean(times)
 
-    fresh_cluster(nnodes, config).run_job(main, stacks=("lapi",))
+    fresh_cluster(nnodes, config, seed=seed).run_job(
+        main, stacks=("lapi",))
     return records["mean"]
 
 
 def alltoall_aggregate(nnodes: int, nbytes_per_pair: int = 65536,
-                       config: MachineConfig = SP_1998) -> float:
+                       config: MachineConfig = SP_1998,
+                       seed: int = 0xBE1) -> float:
     """Aggregate all-to-all put bandwidth [MB/s] at ``nnodes`` tasks."""
     records = {}
 
@@ -74,19 +84,38 @@ def alltoall_aggregate(nnodes: int, nbytes_per_pair: int = 65536,
         if task.rank == 0:
             records["elapsed"] = task.now() - t0
 
-    fresh_cluster(nnodes, config).run_job(main, stacks=("lapi",))
+    fresh_cluster(nnodes, config, seed=seed).run_job(
+        main, stacks=("lapi",))
     total_bytes = nnodes * (nnodes - 1) * nbytes_per_pair
     return total_bytes / records["elapsed"]
 
 
+def scaling_jobs(config: MachineConfig = SP_1998) -> list[JobSpec]:
+    """Per-node-count barrier and all-to-all measurements as specs,
+    each shard seeded independently via the SplitMix spread."""
+    specs = []
+    for i, n in enumerate(NODE_COUNTS):
+        specs.append(JobSpec(
+            gfence_latency, (n, config),
+            {"seed": spread_seed(SCALING_SEED, 2 * i)},
+            key=("scaling", "gfence", n)))
+        specs.append(JobSpec(
+            alltoall_aggregate, (n,),
+            {"config": config,
+             "seed": spread_seed(SCALING_SEED, 2 * i + 1)},
+            key=("scaling", "alltoall", n)))
+    return specs
+
+
 def run_scaling(config: MachineConfig = SP_1998) -> ExperimentResult:
     """Regenerate the supplemental scaling table."""
+    values = sweep(scaling_jobs(config))
     rows = []
     barrier = {}
     aggregate = {}
-    for n in NODE_COUNTS:
-        barrier[n] = gfence_latency(n, config)
-        aggregate[n] = alltoall_aggregate(n, config=config)
+    for i, n in enumerate(NODE_COUNTS):
+        barrier[n] = values[2 * i]
+        aggregate[n] = values[2 * i + 1]
         rounds = math.ceil(math.log2(n))
         rows.append([n, rounds, barrier[n], aggregate[n]])
     result = ExperimentResult(

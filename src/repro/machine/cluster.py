@@ -27,6 +27,7 @@ from ..obs import MetricsRegistry
 from ..sim import RngRegistry, Simulator, Tracer
 from .config import SP_1998, MachineConfig
 from .node import Node
+from .packet import reset_packet_ids
 from .switch import Switch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -87,6 +88,7 @@ class Cluster:
         if nnodes < 1:
             raise MachineError("cluster needs at least one node")
         config.validate()
+        reset_packet_ids()
         self.config = config
         self.trace = trace
         self.sim = Simulator()

@@ -16,9 +16,17 @@ from typing import Any, Optional
 
 from ..errors import NetworkError
 
-__all__ = ["Packet"]
+__all__ = ["Packet", "reset_packet_ids"]
 
 _packet_ids = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Restart uid numbering (called per cluster, so uids are a
+    function of the cluster's own history, not of whatever ran earlier
+    in the process — a requirement for serial/parallel trace parity)."""
+    global _packet_ids
+    _packet_ids = itertools.count()
 
 
 @dataclass

@@ -24,8 +24,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["record_to_dict", "jsonl_lines", "write_trace_jsonl"]
 
 
-def record_to_dict(record: "TraceRecord") -> dict:
-    """Map one trace record onto the JSONL schema."""
+def record_to_dict(record: Union["TraceRecord", dict]) -> dict:
+    """Map one trace record onto the JSONL schema.
+
+    Already-serialized dicts pass through unchanged, so the writers
+    below accept live :class:`~repro.sim.Tracer` records and the
+    pre-serialized records the parallel sweep engine ships back from
+    worker processes interchangeably.
+    """
+    if isinstance(record, dict):
+        return record
     return {
         "time_us": round(record.time, 6),
         "node": record.source,

@@ -24,6 +24,61 @@ class TestMean:
         assert runner.mean([1.0, 3.0], skip_warmup=0) == 2.0
 
 
+class TestBandwidthMbs:
+    def test_bytes_over_microseconds(self):
+        assert runner.bandwidth_mbs(1000, 10.0) == 100.0
+
+    def test_zero_elapsed_raises(self):
+        # A zero-duration measurement is a bug; an inf return would
+        # silently contaminate any mean() over a sweep.
+        with pytest.raises(ValueError, match="non-positive elapsed"):
+            runner.bandwidth_mbs(1024, 0.0)
+
+    def test_negative_elapsed_raises(self):
+        with pytest.raises(ValueError, match="non-positive elapsed"):
+            runner.bandwidth_mbs(1024, -1.0)
+
+
+class TestClusterCapture:
+    def teardown_method(self):
+        runner.configure_observability()
+
+    def test_capture_condenses_live_cluster(self):
+        runner.configure_observability(metrics=True)
+        cluster = runner.fresh_cluster(nnodes=2)
+        cap = runner.capture_cluster(cluster)
+        assert cap.nnodes == 2
+        assert cap.now == cluster.sim.now
+        assert cap.events == cluster.sim.events_processed
+        assert cap.metrics_block == cluster.metrics.render()
+        assert cap.trace == []
+
+    def test_metrics_block_omitted_when_disarmed(self):
+        runner.configure_observability(capture=True)
+        cap = runner.capture_cluster(runner.fresh_cluster(nnodes=2))
+        assert cap.metrics_block is None
+
+    def test_drain_orders_shipped_before_live(self):
+        runner.configure_observability(metrics=True)
+        shipped = runner.capture_cluster(runner.fresh_cluster(nnodes=2))
+        runner.captured_clusters()  # reset the live list
+        runner.record_captures([shipped])
+        live = runner.fresh_cluster(nnodes=2)
+        drained = runner.drain_captures()
+        assert drained[0] is shipped
+        assert drained[1].now == live.sim.now
+        assert runner.drain_captures() == []
+
+    def test_observability_kwargs_round_trip(self):
+        runner.configure_observability(metrics=True, trace=True,
+                                       trace_limit=99)
+        kwargs = runner.observability_kwargs()
+        runner.configure_observability()
+        runner.configure_observability(**kwargs)
+        assert runner.observability_kwargs() == kwargs
+        assert kwargs["trace_limit"] == 99
+
+
 class TestObservabilitySwitchboard:
     def teardown_method(self):
         runner.configure_observability()  # disarm for other tests

@@ -28,6 +28,17 @@ class TestPacket:
     def test_unique_uids(self):
         assert make_packet().uid != make_packet().uid
 
+    def test_uids_restart_per_cluster(self):
+        # Trace parity between serial and forked-worker runs depends
+        # on uid numbering being a function of the cluster's own
+        # history, not of earlier clusters in the process.
+        from repro.machine import Cluster
+
+        Cluster(nnodes=2)
+        first = make_packet().uid
+        Cluster(nnodes=2)
+        assert make_packet().uid == first == 0
+
     def test_validate_loop(self):
         with pytest.raises(NetworkError):
             make_packet(src=1, dst=1).validate(1024)
