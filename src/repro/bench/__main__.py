@@ -14,7 +14,19 @@ Observability flags (see ``docs/observability.md``):
 ``--trace-out FILE``
     Attach a structured tracer to every cluster and write all trace
     records to ``FILE`` as JSONL
-    (``time_us, node, subsystem, event, fields``).
+    (``time_us, node, subsystem, event, fields``; ``.gz`` supported).
+``--spans``
+    Record causal phase spans on every cluster (implied by the two
+    flags below).  Purely observational: virtual-time results are
+    byte-identical with spans on or off.
+``--decompose``
+    Print a Table-1-style per-phase latency decomposition (count /
+    mean / p50 / p99 per subsystem, phase, and message-size bucket)
+    for every experiment, plus the critical path of gfence epochs.
+``--spans-out FILE``
+    Write all spans as a Chrome trace-event JSON file, loadable at
+    https://ui.perfetto.dev (``.gz`` supported): one track per node,
+    flow arrows for every wire hop.
 
 Parallelism (see ``docs/performance.md``):
 
@@ -50,7 +62,8 @@ import time
 from . import ALL_EXPERIMENTS, run_fig2, run_fig3, run_fig4
 from . import parallel, runner
 from .bandwidth import lapi_bandwidth_point
-from ..obs import write_trace_jsonl
+from ..obs import (render_critical_path, render_decomposition,
+                   write_chrome_trace, write_trace_jsonl)
 
 #: Reduced sweeps for ``--perf-quick``.  Chosen so every shape check of
 #: the full sweep still resolves: fig2 keeps the half-peak crossover
@@ -92,6 +105,16 @@ def main(argv: list[str]) -> int:
                         help="print per-subsystem metrics blocks")
     parser.add_argument("--trace-out", metavar="FILE", default=None,
                         help="write structured JSONL traces to FILE")
+    parser.add_argument("--spans", action="store_true",
+                        help="record causal phase spans on every"
+                             " cluster (implied by --spans-out /"
+                             " --decompose)")
+    parser.add_argument("--spans-out", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON file"
+                             " (Perfetto-loadable; .gz supported)")
+    parser.add_argument("--decompose", action="store_true",
+                        help="print a Table-1-style per-phase latency"
+                             " decomposition per experiment")
     parser.add_argument("--perf", action="store_true",
                         help="measure wall time / events per second and"
                              " write a JSON report")
@@ -115,11 +138,15 @@ def main(argv: list[str]) -> int:
         experiments["fig3"] = lambda: run_fig3(sizes=QUICK_SIZES["fig3"])
         experiments["fig4"] = lambda: run_fig4(sizes=QUICK_SIZES["fig4"])
 
-    observing = opts.metrics or opts.trace_out is not None or opts.perf
+    spans_on = (opts.spans or opts.spans_out is not None
+                or opts.decompose)
+    observing = (opts.metrics or opts.trace_out is not None or opts.perf
+                 or spans_on)
     if observing:
         runner.configure_observability(metrics=opts.metrics,
                                        trace=opts.trace_out is not None,
-                                       capture=opts.perf)
+                                       capture=opts.perf,
+                                       spans=spans_on)
     # Observability must be armed before the first parallel sweep so
     # pool workers inherit the flags at initializer time.
     executor = parallel.configure(jobs=opts.jobs)
@@ -132,10 +159,12 @@ def main(argv: list[str]) -> int:
     trace_lines = 0
     first_trace = True
     perf: dict = {}
+    span_streams: list[list[dict]] = []
     for name in names:
         start = time.perf_counter()
         result = experiments[name]()
         wall = time.perf_counter() - start
+        decomposition = None
         if observing:
             captures = runner.drain_captures()
             if opts.metrics:
@@ -152,9 +181,22 @@ def main(argv: list[str]) -> int:
                         c.trace, opts.trace_out,
                         append=not first_trace)
                     first_trace = False
+            if spans_on:
+                streams = [c.spans for c in captures if c.spans]
+                if opts.spans_out is not None:
+                    span_streams.extend(streams)
+                if opts.decompose and streams:
+                    flat = [s for stream in streams for s in stream]
+                    decomposition = render_decomposition(flat, name)
+                    cpath = render_critical_path(flat)
+                    if cpath:
+                        decomposition += "\n" + cpath
             if opts.perf:
                 perf[name] = _perf_record(wall, captures)
         print(result.render())
+        if decomposition is not None:
+            print()
+            print(decomposition)
         print(f"(regenerated in {wall:.1f}s wall time)")
         print()
         if not result.all_passed:
@@ -163,6 +205,11 @@ def main(argv: list[str]) -> int:
         if first_trace:  # no records anywhere: still create the file
             open(opts.trace_out, "w", encoding="utf-8").close()
         print(f"wrote {trace_lines} trace records to {opts.trace_out}")
+    if opts.spans_out is not None:
+        nevents = write_chrome_trace(span_streams, opts.spans_out)
+        nspans = sum(len(s) for s in span_streams)
+        print(f"wrote {nevents} trace events ({nspans} spans,"
+              f" {len(span_streams)} clusters) to {opts.spans_out}")
 
     if opts.perf:
         # Dedicated hot-path probe: the large-message end of Figure 2,
@@ -171,7 +218,11 @@ def main(argv: list[str]) -> int:
         start = time.perf_counter()
         bw = lapi_bandwidth_point(2097152)
         wall = time.perf_counter() - start
-        perf["fig2_large"] = _perf_record(wall, runner.drain_captures())
+        probe_captures = runner.drain_captures()
+        if spans_on and opts.spans_out is not None:
+            span_streams.extend(c.spans for c in probe_captures
+                                if c.spans)
+        perf["fig2_large"] = _perf_record(wall, probe_captures)
         perf["fig2_large"]["bandwidth_mbs"] = round(bw, 2)
         totals = {
             "wall_s": round(sum(p["wall_s"] for p in perf.values()), 3),

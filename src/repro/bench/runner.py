@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 from ..machine import Cluster
 from ..machine.config import SP_1998, MachineConfig
-from ..obs import record_to_dict
+from ..obs import SpanRecorder, record_to_dict
 from ..sim import Tracer
 
 __all__ = ["fresh_cluster", "mean", "reps_for_size", "SIZE_SWEEP",
@@ -42,6 +42,8 @@ class _Observability:
         #: Retain clusters without attaching metrics/trace machinery
         #: (used by ``--perf`` to read kernel event counters).
         self.capture = False
+        #: Arm causal span tracing (``--spans``/``--decompose``).
+        self.spans = False
         self.trace_limit = 250_000
         self.trace_categories: Optional[Sequence[str]] = None
         self.clusters: list[Cluster] = []
@@ -54,14 +56,15 @@ _OBS = _Observability()
 
 
 def configure_observability(*, metrics: bool = False, trace: bool = False,
-                            capture: bool = False,
+                            capture: bool = False, spans: bool = False,
                             trace_limit: int = 250_000,
                             trace_categories: Optional[Sequence[str]]
                             = None) -> None:
-    """Arm (or disarm) metrics/trace capture for subsequent clusters."""
+    """Arm (or disarm) metrics/trace/span capture for new clusters."""
     _OBS.collect_metrics = metrics
     _OBS.trace = trace
     _OBS.capture = capture
+    _OBS.spans = spans
     _OBS.trace_limit = trace_limit
     _OBS.trace_categories = trace_categories
     _OBS.clusters = []
@@ -72,7 +75,8 @@ def observability_kwargs() -> dict:
     """The armed capture flags, in :func:`configure_observability`
     keyword form -- what the sweep engine replays in each worker."""
     return {"metrics": _OBS.collect_metrics, "trace": _OBS.trace,
-            "capture": _OBS.capture, "trace_limit": _OBS.trace_limit,
+            "capture": _OBS.capture, "spans": _OBS.spans,
+            "trace_limit": _OBS.trace_limit,
             "trace_categories": _OBS.trace_categories}
 
 
@@ -100,6 +104,10 @@ class ClusterCapture:
     events: int
     metrics_block: Optional[str] = None
     trace: list[dict] = field(default_factory=list)
+    #: Serialized spans of this cluster (``--spans``), in canonical
+    #: order -- identical whether shipped from a worker or drained
+    #: from a live in-process cluster.
+    spans: list[dict] = field(default_factory=list)
 
 
 def capture_cluster(cluster: Cluster) -> ClusterCapture:
@@ -108,9 +116,12 @@ def capture_cluster(cluster: Cluster) -> ClusterCapture:
                      if _OBS.collect_metrics else None)
     trace = ([record_to_dict(r) for r in cluster.trace.records]
              if cluster.trace is not None else [])
+    spans = (cluster.spans.span_dicts()
+             if cluster.spans is not None else [])
     return ClusterCapture(nnodes=cluster.nnodes, now=cluster.sim.now,
                           events=cluster.sim.events_processed,
-                          metrics_block=metrics_block, trace=trace)
+                          metrics_block=metrics_block, trace=trace,
+                          spans=spans)
 
 
 def record_captures(captures: Sequence[ClusterCapture]) -> None:
@@ -139,9 +150,11 @@ def fresh_cluster(nnodes: int = 2, config: MachineConfig = SP_1998,
     """A new cluster per measurement: no cross-experiment state."""
     trace = Tracer(categories=_OBS.trace_categories,
                    limit=_OBS.trace_limit) if _OBS.trace else None
+    spans = SpanRecorder() if _OBS.spans else None
     cluster = Cluster(nnodes=nnodes, config=config, seed=seed,
-                      trace=trace)
-    if _OBS.collect_metrics or _OBS.trace or _OBS.capture:
+                      trace=trace, spans=spans)
+    if (_OBS.collect_metrics or _OBS.trace or _OBS.capture
+            or _OBS.spans):
         _OBS.clusters.append(cluster)
     return cluster
 

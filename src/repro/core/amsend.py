@@ -44,7 +44,17 @@ def do_amsend(lapi: "Lapi", target: int, handler_id: int, uhdr: bytes,
             f"target {target} outside job of {ctx.size} tasks")
     if udata_len < 0:
         raise LapiError(f"negative udata_len {udata_len}")
+    sp = lapi.spans
+    op_sid = None
+    if sp is not None:
+        t_call = lapi.sim.now
+        op_sid = sp.open(ctx.rank, "lapi", "amsend", t_call,
+                         parent=getattr(thread, "span_parent", None),
+                         dst=target, bytes=udata_len, handler=handler_id)
     yield from thread.execute(cfg.lapi_call_overhead)
+    if sp is not None:
+        sp.emit(ctx.rank, "lapi", "amsend", "call", t_call,
+                lapi.sim.now, parent=op_sid, bytes=udata_len)
     ctx.stats.amsends += 1
     ctx.stats.bytes_sent += udata_len
 
@@ -63,12 +73,17 @@ def do_amsend(lapi: "Lapi", target: int, handler_id: int, uhdr: bytes,
     if target == ctx.rank:
         yield from _local_amsend(lapi, thread, handler_id, bytes(uhdr),
                                  data, tgt_cntr, org_cntr, cmpl_cntr)
+        if sp is not None:
+            sp.close(op_sid, lapi.sim.now, local=True)
         return
 
     msg_id = ctx.new_msg_id()
     cmpl_id = cmpl_cntr.id if cmpl_cntr is not None else None
     packets = am_packets(cfg, ctx.rank, target, msg_id, handler_id,
                          bytes(uhdr), data, tgt_cntr, cmpl_id)
+    if sp is not None:
+        sp.bind_packets(packets, op_sid, "amsend", udata_len,
+                        msg_key=("lapi", ctx.rank, msg_id))
 
     small = udata_len <= cfg.lapi_retrans_copy_limit
     state = SendState(msg_id, target, total_packets=len(packets),
@@ -79,15 +94,27 @@ def do_amsend(lapi: "Lapi", target: int, handler_id: int, uhdr: bytes,
     state.on_complete = _make_send_complete(lapi, state)
 
     if small:
+        if sp is not None:
+            t_copy = lapi.sim.now
         yield from thread.execute(cfg.copy_cost(udata_len + len(uhdr)))
+        if sp is not None:
+            sp.emit(ctx.rank, "lapi", "amsend", "copy", t_copy,
+                    lapi.sim.now, parent=op_sid, bytes=udata_len)
         if org_cntr is not None:
+            if sp is not None:
+                t_cu = lapi.sim.now
             yield from thread.execute(cfg.lapi_counter_update)
+            if sp is not None:
+                sp.emit(ctx.rank, "lapi", "amsend", "counter_update",
+                        t_cu, lapi.sim.now, parent=op_sid)
             org_cntr.add(1)
 
     for pkt in packets:
         yield from thread.execute(cfg.lapi_pkt_send_cost)
         yield from lapi.transport.send_data(thread, pkt,
                                             on_ack=state.ack_one)
+    if sp is not None:
+        sp.close(op_sid, lapi.sim.now, packets=len(packets))
 
 
 def _local_amsend(lapi: "Lapi", thread, handler_id: int, uhdr: bytes,

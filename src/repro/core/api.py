@@ -81,6 +81,11 @@ class Lapi:
         return self.task.cluster.sim
 
     @property
+    def spans(self):
+        """The cluster's span recorder, or None when tracing is off."""
+        return self.task.cluster.sim.spans
+
+    @property
     def rank(self) -> int:
         return self.ctx.rank
 

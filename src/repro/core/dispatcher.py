@@ -44,6 +44,10 @@ __all__ = ["Dispatcher"]
 #: Mask to 64 bits, matching the hardware word LAPI_Rmw operates on.
 _U64 = (1 << 64) - 1
 
+#: Message type -> operation label for target-side span attribution.
+_MTYPE_OP = {PacketKind.MSG_PUT: "put", PacketKind.MSG_AM: "amsend",
+             PacketKind.MSG_GET_REP: "get"}
+
 
 def _to_signed(v: int) -> int:
     v &= _U64
@@ -178,13 +182,18 @@ class Dispatcher:
         if trace is not None and trace.wants("lapi"):
             trace.log(thread.sim.now, f"lapi{ctx.rank}", "lapi",
                       f"dispatch {pkt!r}", **pkt.trace_fields())
+        sp = self.lapi.spans
         if pkt.kind == PacketKind.ACK:
             # Lightweight: adjust transport state, run ack hooks.
             yield from thread.execute(0.3)
+            if sp is not None:
+                sp.packet_dispatched(pkt, thread.sim.now)
             self.lapi.transport.on_ack(pkt)
             return
         yield from thread.execute(cfg.lapi_pkt_recv_amortized if amortized
                                   else cfg.lapi_pkt_recv_cost)
+        if sp is not None:
+            sp.packet_dispatched(pkt, thread.sim.now)
         if not self.lapi.transport.on_packet(pkt):
             return  # duplicate delivery (retransmission overlap)
         kind = pkt.kind
@@ -195,7 +204,12 @@ class Dispatcher:
         elif kind == "getv_req":
             self._getv_request(pkt)
         elif kind == PacketKind.CMPL:
+            if sp is not None:
+                t_cu = thread.sim.now
             yield from thread.execute(cfg.lapi_counter_update)
+            if sp is not None:
+                sp.emit(ctx.rank, "lapi", "cmpl", "counter_update", t_cu,
+                        thread.sim.now, parent=sp.origin_of(pkt))
             ctx.counter_by_id(pkt.info["cntr_id"]).add(1)
         elif kind == PacketKind.RMW_REQ:
             yield from self._rmw_request(thread, pkt)
@@ -245,7 +259,14 @@ class Dispatcher:
             asm.cmpl_cntr_id = pkt.info["cmpl_cntr_id"]
         payload = pkt.payload
         if payload:
+            sp = self.lapi.spans
+            if sp is not None:
+                t_cp = thread.sim.now
             yield from thread.execute(cfg.copy_cost(len(payload)))
+            if sp is not None:
+                sp.emit(self.ctx.rank, "lapi", "put", "copy", t_cp,
+                        thread.sim.now, parent=sp.origin_of(pkt),
+                        bytes=len(payload))
             self.lapi.memory.write(asm.buf_addr + pkt.info["offset"],
                                    payload)
             asm.received += len(payload)
@@ -264,12 +285,20 @@ class Dispatcher:
             asm.hdr_seen = True
             asm.tgt_cntr_id = pkt.info["tgt_cntr_id"]
             asm.cmpl_cntr_id = pkt.info["cmpl_cntr_id"]
+            sp = self.lapi.spans
+            if sp is not None:
+                mkey = ("lapi", pkt.src, pkt.info["msg_id"])
+                t_hh = thread.sim.now
             # --- the header handler (one at a time per context) -------
             yield from thread.execute(cfg.lapi_hdr_handler_cost)
             ctx.stats.hdr_handlers_run += 1
             handler = ctx.handler_by_id(pkt.info["handler_id"])
             reply = handler(self.lapi.task, pkt.src, pkt.info["uhdr"],
                             asm.total_len)
+            if sp is not None:
+                sp.emit(ctx.rank, "lapi", "amsend", "hdr_handler", t_hh,
+                        thread.sim.now, parent=sp.message_origin(mkey),
+                        bytes=sp.message_bytes(mkey))
             buf_addr, cmpl_fn, user_info = self._check_hh_reply(
                 reply, asm.total_len)
             asm.buf_addr = buf_addr
@@ -277,16 +306,34 @@ class Dispatcher:
             asm.user_info = user_info
             # Flush any data that outraced the first packet out of the
             # stash (second copy -- the price of early arrival).
-            for offset, payload in asm.stash:
-                yield from thread.execute(cfg.copy_cost(len(payload)))
-                self.lapi.memory.write(asm.buf_addr + offset, payload)
-                asm.received += len(payload)
-                ctx.stats.bytes_received += len(payload)
-            asm.stash.clear()
+            if asm.stash:
+                if sp is not None:
+                    t_fl = thread.sim.now
+                    flushed = 0
+                for offset, payload in asm.stash:
+                    yield from thread.execute(cfg.copy_cost(len(payload)))
+                    self.lapi.memory.write(asm.buf_addr + offset, payload)
+                    asm.received += len(payload)
+                    ctx.stats.bytes_received += len(payload)
+                    if sp is not None:
+                        flushed += len(payload)
+                if sp is not None:
+                    sp.emit(ctx.rank, "lapi", "amsend", "copy", t_fl,
+                            thread.sim.now,
+                            parent=sp.message_origin(mkey),
+                            bytes=flushed, stash_flush=True)
+                asm.stash.clear()
 
         payload = pkt.payload
         if payload:
+            sp = self.lapi.spans
+            if sp is not None:
+                t_cp = thread.sim.now
             yield from thread.execute(cfg.copy_cost(len(payload)))
+            if sp is not None:
+                sp.emit(ctx.rank, "lapi", "amsend", "copy", t_cp,
+                        thread.sim.now, parent=sp.origin_of(pkt),
+                        bytes=len(payload))
             if asm.hdr_seen:
                 self.lapi.memory.write(asm.buf_addr + pkt.info["offset"],
                                        payload)
@@ -321,13 +368,26 @@ class Dispatcher:
                           asm: RecvAssembly) -> Generator:
         """All bytes of a put/am message are in place at the target."""
         cfg = self.config
+        sp = self.lapi.spans
         if asm.cmpl_fn is not None:
+            cs_sid = None
+            if sp is not None:
+                mkey = ("lapi", asm.src, asm.msg_id)
+                cs_sid = sp.open(self.ctx.rank, "lapi",
+                                 _MTYPE_OP.get(asm.mtype, str(asm.mtype)),
+                                 thread.sim.now, phase="cmpl_handler",
+                                 parent=sp.message_origin(mkey),
+                                 bytes=sp.message_bytes(mkey))
             # Completion handlers run concurrently on their own threads.
             yield from thread.execute(cfg.lapi_cmpl_handler_cost)
             self.ctx.active_handlers += 1
             lapi = self.lapi
 
             def body(hthread, a=asm):
+                if sp is not None:
+                    # Nested operations issued from the handler (e.g.
+                    # GA reply puts) parent under the handler span.
+                    hthread.span_parent = cs_sid
                 try:
                     result = a.cmpl_fn(lapi.task, a.user_info)
                     if result is not None and hasattr(result, "send"):
@@ -337,6 +397,8 @@ class Dispatcher:
                 finally:
                     lapi.ctx.active_handlers -= 1
                 lapi.ctx.stats.cmpl_handlers_run += 1
+                if sp is not None:
+                    sp.close(cs_sid, hthread.sim.now)
                 yield from self._signal_completion(hthread, a)
                 lapi.ctx.progress_ws.notify_all()
 
@@ -349,15 +411,28 @@ class Dispatcher:
                            asm: RecvAssembly) -> Generator:
         """Update the target counter; notify the origin's cmpl counter."""
         cfg = self.config
+        sp = self.lapi.spans
+        if sp is not None:
+            mkey = ("lapi", asm.src, asm.msg_id)
+            origin = sp.message_origin(mkey)
+            op = _MTYPE_OP.get(asm.mtype, str(asm.mtype))
         if asm.tgt_cntr_id is not None:
+            if sp is not None:
+                t_cu = thread.sim.now
             yield from thread.execute(cfg.lapi_counter_update)
+            if sp is not None:
+                sp.emit(self.ctx.rank, "lapi", op, "counter_update",
+                        t_cu, thread.sim.now, parent=origin)
             self.ctx.counter_by_id(asm.tgt_cntr_id).add(1)
             self.ctx.progress_ws.notify_all()
         if asm.cmpl_cntr_id is not None:
             yield from thread.execute(cfg.lapi_ack_cost)
-            self.lapi.transport.send_control(control_packet(
+            cmpl = control_packet(
                 cfg, self.ctx.rank, asm.src, PacketKind.CMPL,
-                cntr_id=asm.cmpl_cntr_id))
+                cntr_id=asm.cmpl_cntr_id)
+            if sp is not None:
+                sp.bind_packet(cmpl, origin, "cmpl")
+            self.lapi.transport.send_control(cmpl)
 
     # ------------------------------------------------------------------
     # vector (non-contiguous) extension: putv / getv (section 6 #1)
@@ -454,11 +529,15 @@ class Dispatcher:
         cfg = self.config
         info = dict(pkt.info)
         src = pkt.src
+        sp = lapi.spans
+        origin = sp.origin_of(pkt) if sp is not None else None
 
         def body(thread):
             data = lapi.memory.read(info["tgt_addr"], info["length"])
             packets = get_reply_packets(cfg, lapi.ctx.rank, src,
                                         info["msg_id"], data)
+            if sp is not None:
+                sp.bind_packets(packets, origin, "get", info["length"])
             # Small replies are copied into LAPI's retransmission
             # buffers; large ones stream straight from target memory
             # (the same zero-copy rule as large puts).
@@ -494,7 +573,14 @@ class Dispatcher:
         if pending.complete or pending.length == 0:
             del self.ctx.pending_gets[pending.msg_id]
             if pending.org_cntr is not None:
+                sp = self.lapi.spans
+                if sp is not None:
+                    t_cu = thread.sim.now
                 yield from thread.execute(cfg.lapi_counter_update)
+                if sp is not None:
+                    sp.emit(self.ctx.rank, "lapi", "get",
+                            "counter_update", t_cu, thread.sim.now,
+                            parent=sp.origin_of(pkt))
                 pending.org_cntr.add(1)
             self.ctx.op_completed(pending.target)
 

@@ -39,9 +39,20 @@ def do_fence(lapi: "Lapi", target: Optional[int] = None) -> Generator:
     thread = lapi.current_thread()
     if target is not None and not (0 <= target < ctx.size):
         raise LapiError(f"fence target {target} outside job")
+    sp = lapi.spans
+    op_sid = None
+    if sp is not None:
+        t_call = lapi.sim.now
+        op_sid = sp.open(ctx.rank, "lapi", "fence", t_call,
+                         parent=getattr(thread, "span_parent", None))
     yield from thread.execute(cfg.lapi_call_overhead)
+    if sp is not None:
+        sp.emit(ctx.rank, "lapi", "fence", "call", t_call, lapi.sim.now,
+                parent=op_sid)
     ctx.stats.fences += 1
     yield from lapi.wait_for(lambda: ctx.outstanding_to(target) == 0)
+    if sp is not None:
+        sp.close(op_sid, lapi.sim.now)
 
 
 def do_gfence(lapi: "Lapi") -> Generator:
@@ -50,10 +61,23 @@ def do_gfence(lapi: "Lapi") -> Generator:
     cfg = lapi.config
     thread = lapi.current_thread()
     ctx.stats.gfences += 1
-    yield from do_fence(lapi, None)
+    sp = lapi.spans
+    op_sid = None
+    if sp is not None:
+        op_sid = sp.open(ctx.rank, "lapi", "gfence", lapi.sim.now,
+                         parent=getattr(thread, "span_parent", None))
+        prev_parent = getattr(thread, "span_parent", None)
+        thread.span_parent = op_sid
+    try:
+        yield from do_fence(lapi, None)
+    finally:
+        if sp is not None:
+            thread.span_parent = prev_parent
 
     size = ctx.size
     if size == 1:
+        if sp is not None:
+            sp.close(op_sid, lapi.sim.now)
         return
     epoch = ctx.barrier_epoch
     ctx.barrier_epoch += 1
@@ -66,11 +90,16 @@ def do_gfence(lapi: "Lapi") -> Generator:
         dist = 1 << r
         peer = (ctx.rank + dist) % size
         yield from thread.execute(cfg.lapi_pkt_send_cost)
-        lapi.transport.send_control(control_packet(
+        token = control_packet(
             cfg, ctx.rank, peer, PacketKind.BARRIER,
-            epoch=epoch, round=r))
+            epoch=epoch, round=r)
+        if sp is not None:
+            sp.bind_packet(token, op_sid, "gfence")
+        lapi.transport.send_control(token)
         yield from lapi.wait_for(
             lambda e=epoch, rr=r: (e, rr) in ctx.barrier_tokens)
     # Tokens of this epoch are consumed; drop them to bound memory.
     ctx.barrier_tokens = {(e, r) for (e, r) in ctx.barrier_tokens
                           if e != epoch}
+    if sp is not None:
+        sp.close(op_sid, lapi.sim.now, epoch=epoch)

@@ -50,7 +50,17 @@ def do_put(lapi: "Lapi", target: int, length: int, tgt_addr: int,
     ctx = lapi.ctx
     thread = lapi.current_thread()
     _validate_common(lapi, target, length)
+    sp = lapi.spans
+    op_sid = None
+    if sp is not None:
+        t_call = lapi.sim.now
+        op_sid = sp.open(ctx.rank, "lapi", "put", t_call,
+                         parent=getattr(thread, "span_parent", None),
+                         dst=target, bytes=length)
     yield from thread.execute(cfg.lapi_call_overhead)
+    if sp is not None:
+        sp.emit(ctx.rank, "lapi", "put", "call", t_call, lapi.sim.now,
+                parent=op_sid, bytes=length)
     ctx.stats.puts += 1
     ctx.stats.bytes_sent += length
 
@@ -59,12 +69,17 @@ def do_put(lapi: "Lapi", target: int, length: int, tgt_addr: int,
     if target == ctx.rank:
         yield from _local_put(lapi, thread, data, tgt_addr, tgt_cntr,
                               org_cntr, cmpl_cntr)
+        if sp is not None:
+            sp.close(op_sid, lapi.sim.now, local=True)
         return
 
     msg_id = ctx.new_msg_id()
     cmpl_id = cmpl_cntr.id if cmpl_cntr is not None else None
     packets = put_packets(cfg, ctx.rank, target, msg_id, data, tgt_addr,
                           tgt_cntr, cmpl_id)
+    if sp is not None:
+        sp.bind_packets(packets, op_sid, "put", length,
+                        msg_key=("lapi", ctx.rank, msg_id))
 
     small = length <= cfg.lapi_retrans_copy_limit
     state = SendState(msg_id, target, total_packets=len(packets),
@@ -77,15 +92,27 @@ def do_put(lapi: "Lapi", target: int, length: int, tgt_addr: int,
     if small:
         # Copy into LAPI's internal (retransmission) buffers: the user
         # buffer is immediately reusable.
+        if sp is not None:
+            t_copy = lapi.sim.now
         yield from thread.execute(cfg.copy_cost(length))
+        if sp is not None:
+            sp.emit(ctx.rank, "lapi", "put", "copy", t_copy,
+                    lapi.sim.now, parent=op_sid, bytes=length)
         if org_cntr is not None:
+            if sp is not None:
+                t_cu = lapi.sim.now
             yield from thread.execute(cfg.lapi_counter_update)
+            if sp is not None:
+                sp.emit(ctx.rank, "lapi", "put", "counter_update", t_cu,
+                        lapi.sim.now, parent=op_sid)
             org_cntr.add(1)
 
     for pkt in packets:
         yield from thread.execute(cfg.lapi_pkt_send_cost)
         yield from lapi.transport.send_data(thread, pkt,
                                             on_ack=state.ack_one)
+    if sp is not None:
+        sp.close(op_sid, lapi.sim.now, packets=len(packets))
 
 
 def _make_send_complete(lapi: "Lapi", state: SendState):
@@ -126,7 +153,17 @@ def do_get(lapi: "Lapi", target: int, length: int, tgt_addr: int,
     ctx = lapi.ctx
     thread = lapi.current_thread()
     _validate_common(lapi, target, length)
+    sp = lapi.spans
+    op_sid = None
+    if sp is not None:
+        t_call = lapi.sim.now
+        op_sid = sp.open(ctx.rank, "lapi", "get", t_call,
+                         parent=getattr(thread, "span_parent", None),
+                         src=target, bytes=length)
     yield from thread.execute(cfg.lapi_call_overhead + cfg.lapi_get_extra)
+    if sp is not None:
+        sp.emit(ctx.rank, "lapi", "get", "call", t_call, lapi.sim.now,
+                parent=op_sid, bytes=length)
     ctx.stats.gets += 1
 
     if target == ctx.rank:
@@ -140,6 +177,8 @@ def do_get(lapi: "Lapi", target: int, length: int, tgt_addr: int,
         if tgt_cntr is not None:
             ctx.counter_by_id(tgt_cntr).add(1)
         ctx.progress_ws.notify_all()
+        if sp is not None:
+            sp.close(op_sid, lapi.sim.now, local=True)
         return
 
     msg_id = ctx.new_msg_id()
@@ -147,7 +186,11 @@ def do_get(lapi: "Lapi", target: int, length: int, tgt_addr: int,
                                           length, org_cntr)
     ctx.op_issued(target)
     yield from thread.execute(cfg.lapi_pkt_send_cost)
-    lapi.transport.send_control(control_packet(
+    req = control_packet(
         cfg, ctx.rank, target, PacketKind.GET_REQ,
         msg_id=msg_id, tgt_addr=tgt_addr, length=length,
-        tgt_cntr_id=tgt_cntr))
+        tgt_cntr_id=tgt_cntr)
+    if sp is not None:
+        sp.bind_packet(req, op_sid, "get", length)
+        sp.close(op_sid, lapi.sim.now)
+    lapi.transport.send_control(req)

@@ -236,6 +236,30 @@ class LapiBackend:
                     local_addr: int, *, op: int,
                     alpha: float) -> Generator:
         lapi = self.lapi
+        sp = lapi.spans
+        if sp is None:
+            yield from self._put_or_acc_body(ga, section, local_addr,
+                                             op=op, alpha=alpha)
+            return
+        thread = lapi.current_thread()
+        name = "ga.acc" if op == GaOp.ACC else "ga.put"
+        op_sid = sp.open(lapi.rank, "ga", name, lapi.sim.now,
+                         parent=getattr(thread, "span_parent", None),
+                         bytes=section.size * ga.itemsize)
+        # Nested LAPI puts/amsends parent under the GA operation.
+        prev = getattr(thread, "span_parent", None)
+        thread.span_parent = op_sid
+        try:
+            yield from self._put_or_acc_body(ga, section, local_addr,
+                                             op=op, alpha=alpha)
+        finally:
+            thread.span_parent = prev
+            sp.close(op_sid, lapi.sim.now)
+
+    def _put_or_acc_body(self, ga: "GlobalArray", section: Section,
+                         local_addr: int, *, op: int,
+                         alpha: float) -> Generator:
+        lapi = self.lapi
         cfg = self.config
         thread = lapi.current_thread()
         yield from thread.execute(self.gcfg.ga_call_overhead)
@@ -387,6 +411,25 @@ class LapiBackend:
     def get(self, ga: "GlobalArray", section: Section,
             local_addr: int) -> Generator:
         """Blocking GA get (the operation is blocking in GA)."""
+        lapi = self.lapi
+        sp = lapi.spans
+        if sp is None:
+            yield from self._get_body(ga, section, local_addr)
+            return
+        thread = lapi.current_thread()
+        op_sid = sp.open(lapi.rank, "ga", "ga.get", lapi.sim.now,
+                         parent=getattr(thread, "span_parent", None),
+                         bytes=section.size * ga.itemsize)
+        prev = getattr(thread, "span_parent", None)
+        thread.span_parent = op_sid
+        try:
+            yield from self._get_body(ga, section, local_addr)
+        finally:
+            thread.span_parent = prev
+            sp.close(op_sid, lapi.sim.now)
+
+    def _get_body(self, ga: "GlobalArray", section: Section,
+                  local_addr: int) -> Generator:
         lapi = self.lapi
         cfg = self.config
         thread = lapi.current_thread()

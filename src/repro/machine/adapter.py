@@ -149,6 +149,9 @@ class Adapter:
             self.trace.log(self.sim.now, f"adapter{self.node_id}",
                            "rxdrop", repr(packet),
                            **packet.trace_fields())
+        sp = self.sim.spans
+        if sp is not None:
+            sp.packet_dropped(packet, self.sim.now)
 
     def metrics(self) -> dict:
         """Counter block for the observability registry (collector)."""
@@ -175,6 +178,9 @@ class Adapter:
         if not credit.triggered:
             yield from thread.wait(credit)
         self._tx_queue.put((packet, True))
+        sp = self.sim.spans
+        if sp is not None:
+            sp.packet_submitted(packet, self.sim.now)
 
     def inject_async(self, packet: "Packet") -> bool:
         """Best-effort injection from non-thread context.
@@ -188,6 +194,9 @@ class Adapter:
         if not self._tx_credits.try_wait():
             return False
         self._tx_queue.put((packet, True))
+        sp = self.sim.spans
+        if sp is not None:
+            sp.packet_submitted(packet, self.sim.now)
         return True
 
     def inject_control(self, packet: "Packet") -> None:
@@ -203,6 +212,9 @@ class Adapter:
             raise NetworkError(f"adapter {self.node_id} not connected")
         packet.validate(self.config.packet_size)
         self._tx_queue.put((packet, False))
+        sp = self.sim.spans
+        if sp is not None:
+            sp.packet_submitted(packet, self.sim.now)
 
     def _tx_engine(self) -> Generator:
         """DMA engine: serializes packets onto the injection link.
@@ -241,6 +253,9 @@ class Adapter:
             self.trace.log(self.sim.now, f"adapter{self.node_id}",
                            "tx", repr(packet),
                            **packet.trace_fields())
+        sp = self.sim.spans
+        if sp is not None:
+            sp.packet_tx_done(packet, self.sim.now)
         self.switch.route(packet)
         if took_credit:
             self._tx_credits.post()
@@ -329,6 +344,9 @@ class Adapter:
     def deliver(self, packet: "Packet") -> None:
         """Called by the switch when a packet arrives at this node."""
         now = self.sim.now
+        sp = self.sim.spans
+        if sp is not None:
+            sp.packet_delivered(packet, now)
         finish = self._rx_dma.occupy(now, self.config.adapter_recv_dma)
         # Bare-callback completion (no Timeout/name/closure); the
         # now + (finish - now) form matches the Timeout it replaced so
@@ -345,6 +363,9 @@ class Adapter:
         if self.trace is not None and self.trace.wants("rx"):
             self.trace.log(self.sim.now, f"adapter{self.node_id}",
                            "rx", repr(packet), **packet.trace_fields())
+        sp = self.sim.spans
+        if sp is not None:
+            sp.packet_enqueued(packet, self.sim.now)
         if (client.delivery_filter is not None
                 and client.delivery_filter(packet)):
             return

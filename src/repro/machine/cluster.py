@@ -84,14 +84,23 @@ class Cluster:
 
     def __init__(self, nnodes: int, config: MachineConfig = SP_1998,
                  seed: int = 0xC0FFEE,
-                 trace: Optional[Tracer] = None) -> None:
+                 trace: Optional[Tracer] = None,
+                 spans: Optional[Any] = None) -> None:
         if nnodes < 1:
             raise MachineError("cluster needs at least one node")
         config.validate()
         reset_packet_ids()
         self.config = config
         self.trace = trace
+        #: Optional :class:`repro.obs.SpanRecorder` collecting causal
+        #: phase spans for this cluster.  Packet uids restart per
+        #: cluster (``reset_packet_ids`` above), so span streams are a
+        #: function of the cluster's own history -- the serial/parallel
+        #: parity requirement.  Exposed to every component as
+        #: ``sim.spans``; purely observational (never perturbs time).
+        self.spans = spans
         self.sim = Simulator()
+        self.sim.spans = spans
         self.rng = RngRegistry(seed=seed)
         self.nodes = [Node(self.sim, i, config, trace=trace)
                       for i in range(nnodes)]

@@ -84,6 +84,9 @@ class Switch:
             if self.trace is not None and self.trace.wants("loss"):
                 self.trace.log(self.sim.now, "switch", "loss",
                                repr(packet), **packet.trace_fields())
+            sp = self.sim.spans
+            if sp is not None:
+                sp.packet_lost(packet, self.sim.now)
             return
 
         candidates = self.route_candidates(packet.src, packet.dst)

@@ -72,6 +72,11 @@ class Mpl:
         return self.task.cluster.sim
 
     @property
+    def spans(self):
+        """The cluster's span recorder, or None when tracing is off."""
+        return self.task.cluster.sim.spans
+
+    @property
     def rank(self) -> int:
         return self.ctx.rank
 
@@ -241,7 +246,17 @@ class Mpl:
             raise MplError(f"destination {dst} outside job of {ctx.size}")
         if nbytes < 0:
             raise MplError(f"negative send length {nbytes}")
+        sp = self.spans
+        op_sid = None
+        if sp is not None:
+            t_call = self.sim.now
+            op_sid = sp.open(ctx.rank, "mpl", "send", t_call,
+                             parent=getattr(thread, "span_parent", None),
+                             dst=dst, bytes=nbytes, tag=tag)
         yield from thread.execute(cfg.mpl_call_overhead)
+        if sp is not None:
+            sp.emit(ctx.rank, "mpl", "send", "call", t_call,
+                    self.sim.now, parent=op_sid, bytes=nbytes)
         ctx.stats.sends += 1
         ctx.stats.bytes_sent += nbytes
 
@@ -255,19 +270,23 @@ class Mpl:
 
         if dst == ctx.rank:
             req = yield from self._local_send(thread, data, tag)
+            if sp is not None:
+                sp.close(op_sid, self.sim.now, local=True)
             return req
 
         msg_seq = ctx.next_seq(dst)
         if nbytes <= self.eager_limit:
             req = yield from self._send_eager(thread, dst, msg_seq, tag,
-                                              data)
+                                              data, op_sid)
         else:
             req = yield from self._send_rndv(thread, dst, msg_seq, tag,
-                                             data)
+                                             data, op_sid)
+        if sp is not None:
+            sp.close(op_sid, self.sim.now)
         return req
 
     def _send_eager(self, thread, dst: int, msg_seq: int, tag: int,
-                    data: bytes) -> Generator:
+                    data: bytes, op_sid=None) -> Generator:
         cfg = self.config
         ctx = self.ctx
         buffered = len(data) <= cfg.mpl_send_buffer_limit
@@ -275,11 +294,20 @@ class Mpl:
         req = SendRequest(dst, msg_seq, len(data), proto)
         packets = data_packets(cfg, ctx.rank, dst, msg_seq, tag, data)
         req.total_packets = len(packets)
+        sp = self.spans
+        if sp is not None:
+            sp.bind_packets(packets, op_sid, "send", len(data),
+                            msg_key=("mpl", ctx.rank, msg_seq))
         if buffered:
             # Copy into MPL's internal send buffer: the user buffer is
             # reusable as soon as the copy finishes (the generous
             # buffering section 5.4 credits for the 1-20 KB band).
+            if sp is not None:
+                t_cp = self.sim.now
             yield from thread.execute(cfg.copy_cost(len(data)))
+            if sp is not None:
+                sp.emit(ctx.rank, "mpl", "send", "copy", t_cp,
+                        self.sim.now, parent=op_sid, bytes=len(data))
             req.complete = True
             ctx.stats.eager_buffered += 1
         else:
@@ -296,7 +324,7 @@ class Mpl:
         return req
 
     def _send_rndv(self, thread, dst: int, msg_seq: int, tag: int,
-                   data: bytes) -> Generator:
+                   data: bytes, op_sid=None) -> Generator:
         """Rendezvous: RTS now; a service thread streams after CTS."""
         cfg = self.config
         ctx = self.ctx
@@ -305,11 +333,17 @@ class Mpl:
         req.cts_event = self.sim.event(name=f"cts:{dst}:{msg_seq}")
         ctx.rndv_waiting[(dst, msg_seq)] = req
         yield from thread.execute(cfg.mpl_rendezvous_ctrl_cost)
-        self.transport.send_control(rts_packet(cfg, ctx.rank, dst,
-                                               msg_seq, tag, len(data)))
+        sp = self.spans
+        rts = rts_packet(cfg, ctx.rank, dst, msg_seq, tag, len(data))
+        if sp is not None:
+            sp.bind_packet(rts, op_sid, "send", len(data))
+        self.transport.send_control(rts)
         packets = data_packets(cfg, ctx.rank, dst, msg_seq, tag, data,
                                is_rndv=True)
         req.total_packets = len(packets)
+        if sp is not None:
+            sp.bind_packets(packets, op_sid, "send", len(data),
+                            msg_key=("mpl", ctx.rank, msg_seq))
         mpl = self
 
         def on_ack(r=req):
@@ -317,7 +351,12 @@ class Mpl:
                 ctx.progress_ws.notify_all()
 
         def streamer(sthread):
+            if sp is not None:
+                t_w = sthread.sim.now
             yield from sthread.wait(req.cts_event)
+            if sp is not None:
+                sp.emit(ctx.rank, "mpl", "send", "rndv_wait", t_w,
+                        sthread.sim.now, parent=op_sid, bytes=len(data))
             yield from sthread.execute(cfg.mpl_rendezvous_ctrl_cost)
             for pkt in packets:
                 yield from sthread.execute(cfg.mpl_pkt_send_cost)
@@ -375,18 +414,35 @@ class Mpl:
         cfg = self.config
         ctx = self.ctx
         thread = self.current_thread()
+        sp = self.spans
+        op_sid = None
+        if sp is not None:
+            t_call = self.sim.now
+            op_sid = sp.open(ctx.rank, "mpl", "recv", t_call,
+                             parent=getattr(thread, "span_parent", None),
+                             src=src, tag=tag)
         yield from thread.execute(cfg.mpl_call_overhead
                                   + cfg.mpl_post_recv_cost)
+        if sp is not None:
+            sp.emit(ctx.rank, "mpl", "recv", "call", t_call,
+                    self.sim.now, parent=op_sid)
         ctx.stats.recvs += 1
         req = RecvRequest(src, tag, addr, maxlen)
         msg = ctx.match.post_recv(req)
         if msg is not None:
+            if sp is not None:
+                t_m = self.sim.now
             yield from thread.execute(cfg.mpl_match_cost)
+            if sp is not None:
+                sp.emit(ctx.rank, "mpl", "recv", "match", t_m,
+                        self.sim.now, parent=op_sid, unexpected=True)
             yield from self.dispatcher._bind_flush(thread, msg)
             if msg.is_rndv:
                 self.dispatcher._send_cts(msg)
             if msg.data_complete:
                 yield from self.dispatcher.deliver(thread, msg)
+        if sp is not None:
+            sp.close(op_sid, self.sim.now)
         return req
 
     def recv(self, src: int, tag: int, addr: Optional[int],

@@ -92,12 +92,17 @@ class MplDispatcher:
                         amortized: bool = False) -> Generator:
         cfg = self.config
         self.ctx.stats.packets_processed += 1
+        sp = self.mpl.spans
         if pkt.kind == MplPacketKind.ACK:
             yield from thread.execute(0.3)
+            if sp is not None:
+                sp.packet_dispatched(pkt, thread.sim.now)
             self.mpl.transport.on_ack(pkt)
             return
         yield from thread.execute(cfg.mpl_pkt_recv_amortized if amortized
                                   else cfg.mpl_pkt_recv_cost)
+        if sp is not None:
+            sp.packet_dispatched(pkt, thread.sim.now)
         if not self.mpl.transport.on_packet(pkt):
             return
         kind = pkt.kind
@@ -126,8 +131,17 @@ class MplDispatcher:
         """Run in-order envelope admission, then matching, for every
         envelope the arrival unblocked."""
         cfg = self.config
+        sp = self.mpl.spans
         for env in self.ctx.match.admit_envelope(msg):
+            if sp is not None:
+                t_m = thread.sim.now
             yield from thread.execute(cfg.mpl_match_cost)
+            if sp is not None:
+                sp.emit(self.ctx.rank, "mpl", "recv", "match", t_m,
+                        thread.sim.now,
+                        parent=sp.message_origin(
+                            ("mpl", env.src, env.msg_seq)),
+                        bytes=env.total, src=env.src)
             req = self.ctx.match.match_arrival(env)
             if req is not None:
                 yield from self._bind_flush(thread, env)
@@ -139,8 +153,12 @@ class MplDispatcher:
             yield from self._maybe_complete(thread, env)
 
     def _send_cts(self, msg: MessageState) -> None:
-        self.mpl.transport.send_control(cts_packet(
-            self.config, self.ctx.rank, msg.src, msg.msg_seq))
+        cts = cts_packet(self.config, self.ctx.rank, msg.src,
+                         msg.msg_seq, reply_to=msg.rts_uid)
+        sp = self.mpl.spans
+        if sp is not None:
+            sp.bind_packet(cts, sp.origin_of_uid(msg.rts_uid), "cts")
+        self.mpl.transport.send_control(cts)
 
     def _bind_flush(self, thread: "Thread",
                     msg: MessageState) -> Generator:
@@ -191,7 +209,16 @@ class MplDispatcher:
         req = msg.recv_req
         if msg.used_early:
             # The extra copy: early-arrival buffer -> user destination.
+            sp = self.mpl.spans
+            if sp is not None:
+                t_cp = thread.sim.now
             yield from thread.execute(cfg.copy_cost(msg.total))
+            if sp is not None:
+                sp.emit(self.ctx.rank, "mpl", "recv", "copy", t_cp,
+                        thread.sim.now,
+                        parent=sp.message_origin(
+                            ("mpl", msg.src, msg.msg_seq)),
+                        bytes=msg.total, early_arrival=True)
             blob = bytes(msg.early_buffer[:msg.total])
             if req.addr is not None:
                 self.mpl.memory.write(req.addr, blob)
@@ -211,8 +238,17 @@ class MplDispatcher:
         blob = bytes(msg.early_buffer[:msg.total]) if msg.early_buffer \
             else b""
         mpl.ctx.active_handlers += 1
+        sp = mpl.spans
 
         def body(hthread):
+            cs_sid = None
+            if sp is not None:
+                cs_sid = sp.open(mpl.ctx.rank, "mpl", "rcvncall",
+                                 hthread.sim.now, phase="cmpl_handler",
+                                 parent=sp.message_origin(
+                                     ("mpl", msg.src, msg.msg_seq)),
+                                 bytes=msg.total, tag=msg.tag)
+                hthread.span_parent = cs_sid
             try:
                 yield from hthread.execute(cfg.rcvncall_context_cost)
                 mpl.ctx.stats.rcvncalls_run += 1
@@ -221,6 +257,8 @@ class MplDispatcher:
                     yield from result
             finally:
                 mpl.ctx.active_handlers -= 1
+                if sp is not None:
+                    sp.close(cs_sid, hthread.sim.now)
             mpl.ctx.progress_ws.notify_all()
 
         mpl.task.node.cpu.spawn(body, name=f"mpl{self.ctx.rank}.rcvncall",
@@ -251,6 +289,7 @@ class MplDispatcher:
 
     def _rts(self, thread: "Thread", pkt: "Packet") -> Generator:
         msg = self._state(pkt.src, pkt.info["msg_seq"])
+        msg.rts_uid = pkt.uid
         msg.set_envelope(pkt.info["tag"], pkt.info["total"], True)
         yield from self._admit_and_match(thread, msg)
 

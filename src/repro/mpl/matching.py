@@ -34,7 +34,8 @@ class MessageState:
 
     __slots__ = ("src", "msg_seq", "tag", "total", "received",
                  "is_rndv", "early_buffer", "recv_req", "rcvncall_fn",
-                 "matched", "envelope_known", "stash", "used_early")
+                 "matched", "envelope_known", "stash", "used_early",
+                 "rts_uid", "unexpected_at", "parked_at")
 
     def __init__(self, src: int, msg_seq: int) -> None:
         self.src = src
@@ -45,6 +46,13 @@ class MessageState:
         self.is_rndv = False
         self.envelope_known = False
         self.received = 0
+        #: uid of the RTS packet that announced this message (rndv);
+        #: echoed in the CTS ``reply_to`` field.
+        self.rts_uid: Optional[int] = None
+        #: Span-trace timestamps: when the message joined the
+        #: unexpected queue / was parked behind a sequencing gap.
+        self.unexpected_at: Optional[float] = None
+        self.parked_at: Optional[float] = None
         #: Data packets that arrived before the envelope: (offset, bytes).
         self.stash: list[tuple[int, bytes]] = []
         #: Early-arrival storage for eager data that beat the receive.
@@ -113,6 +121,9 @@ class MatchEngine:
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
+        #: Simulator handle, installed by the owning context; used only
+        #: to read the clock when span tracing is armed.
+        self.sim = None
         self.posted: list[RecvRequest] = []
         self.unexpected: list[MessageState] = []
         self._streams: dict[int, _SourceStream] = {}
@@ -146,11 +157,21 @@ class MatchEngine:
                 f"rank {self.rank}: duplicate envelope {msg.src}:"
                 f"{msg.msg_seq} escaped transport dedup")
         stream.parked[msg.msg_seq] = msg
+        sp = self.sim.spans if self.sim is not None else None
         if msg.msg_seq != stream.next_seq:
             self.envelopes_parked += 1
+            if sp is not None:
+                msg.parked_at = self.sim.now
         ready = []
         while stream.next_seq in stream.parked:
-            ready.append(stream.parked.pop(stream.next_seq))
+            admitted = stream.parked.pop(stream.next_seq)
+            if sp is not None and admitted.parked_at is not None:
+                sp.emit(self.rank, "mpl", "recv", "reorder_wait",
+                        admitted.parked_at, self.sim.now,
+                        parent=sp.message_origin(
+                            ("mpl", admitted.src, admitted.msg_seq)),
+                        bytes=admitted.total, src=admitted.src)
+            ready.append(admitted)
             stream.next_seq += 1
         return ready
 
@@ -175,6 +196,8 @@ class MatchEngine:
             msg.rcvncall_fn = handler
             msg.matched = True
             return None
+        if self.sim is not None and self.sim.spans is not None:
+            msg.unexpected_at = self.sim.now
         self.unexpected.append(msg)
         return None
 
@@ -185,6 +208,13 @@ class MatchEngine:
                 del self.unexpected[i]
                 self._bind(msg, req)
                 self.matched_unexpected += 1
+                sp = self.sim.spans if self.sim is not None else None
+                if sp is not None and msg.unexpected_at is not None:
+                    sp.emit(self.rank, "mpl", "recv", "unexpected_wait",
+                            msg.unexpected_at, self.sim.now,
+                            parent=sp.message_origin(
+                                ("mpl", msg.src, msg.msg_seq)),
+                            bytes=msg.total, src=msg.src)
                 return msg
         self.posted.append(req)
         return None

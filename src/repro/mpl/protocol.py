@@ -64,7 +64,11 @@ def rts_packet(config: "MachineConfig", src: int, dst: int, msg_seq: int,
 
 
 def cts_packet(config: "MachineConfig", src: int, dst: int,
-               msg_seq: int) -> "Packet":
-    """Rendezvous clear-to-send: receiver is ready, sender may stream."""
+               msg_seq: int, reply_to: int = None) -> "Packet":
+    """Rendezvous clear-to-send: receiver is ready, sender may stream.
+
+    ``reply_to`` names the uid of the RTS packet being answered (set
+    whenever the receiver knows it -- identical wire contents whether
+    span tracing is armed or not)."""
     return _mk(src, dst, MplPacketKind.CTS, config.mpl_header, b"",
-               {"msg_seq": msg_seq})
+               {"msg_seq": msg_seq, "reply_to": reply_to})

@@ -72,6 +72,9 @@ class MplContext:
         self.rank = rank
         self.size = size
         self.match = MatchEngine(rank)
+        # The matcher records unexpected/reorder wait spans; it needs
+        # the clock (pure reads -- it never charges time itself).
+        self.match.sim = sim
         #: (src, msg_seq) -> receive-side message state.
         self.recv_msgs: dict[tuple[int, int], MessageState] = {}
         #: (dst, msg_seq) -> sender-side rendezvous state awaiting CTS.

@@ -9,51 +9,120 @@ serializes them to the observability schema::
 
 one JSON object per line (JSONL), the format ``python -m repro.bench
 --trace-out FILE`` writes and every log pipeline ingests.  Encoding is
-deterministic (sorted keys, compact separators), so identical seeds
+deterministic: top-level keys emit in a *fixed* order (schema order,
+not alphabetical), field keys sort, and non-JSON-serializable field
+values (bytes payload fragments, tuples, sets...) are coerced
+deterministically instead of raising mid-export.  Identical seeds
 produce byte-identical trace files.
+
+Files whose name ends in ``.gz`` are transparently gzip-compressed
+(with a zeroed mtime, so compression itself stays deterministic);
+append mode appends a concatenated gzip member, which every
+decompressor reads as one stream.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
-from typing import TYPE_CHECKING, Iterable, Union
+import os
+from typing import TYPE_CHECKING, Any, Iterable, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.trace import TraceRecord
 
-__all__ = ["record_to_dict", "jsonl_lines", "write_trace_jsonl"]
+__all__ = ["record_to_dict", "jsonl_lines", "write_trace_jsonl",
+           "coerce_value"]
+
+#: Fixed top-level key order of the JSONL schema.
+_SCHEMA_ORDER = ("time_us", "node", "subsystem", "event", "fields")
+
+
+def coerce_value(value: Any) -> Any:
+    """Map one field value onto a deterministic JSON-serializable form.
+
+    Bytes become hex strings (stable, unlike ``repr``), tuples become
+    lists, sets become sorted lists, nested dicts coerce recursively
+    with sorted keys; everything else unknown falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return bytes(value).hex()
+    if isinstance(value, (list, tuple)):
+        return [coerce_value(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(coerce_value(v)) for v in value)
+    if isinstance(value, dict):
+        return {str(k): coerce_value(v)
+                for k, v in sorted(value.items(), key=lambda kv:
+                                   str(kv[0]))}
+    return str(value)
+
+
+def _coerce_fields(fields: dict) -> dict:
+    return {str(k): coerce_value(v)
+            for k, v in sorted(fields.items(),
+                               key=lambda kv: str(kv[0]))}
 
 
 def record_to_dict(record: Union["TraceRecord", dict]) -> dict:
-    """Map one trace record onto the JSONL schema.
+    """Map one trace record onto the JSONL schema, keys in fixed order.
 
-    Already-serialized dicts pass through unchanged, so the writers
-    below accept live :class:`~repro.sim.Tracer` records and the
-    pre-serialized records the parallel sweep engine ships back from
-    worker processes interchangeably.
+    Accepts live :class:`~repro.sim.Tracer` records and already-
+    serialized dicts (the form the parallel sweep engine ships back
+    from worker processes) interchangeably; both normalize to the same
+    key order and coerced field values, so mixing sources cannot
+    perturb byte-level determinism.
     """
     if isinstance(record, dict):
-        return record
+        out = {key: record[key] for key in _SCHEMA_ORDER
+               if key in record}
+        for key in record:  # preserve any extension keys, sorted last
+            if key not in out:
+                out[key] = record[key]
+        out["fields"] = _coerce_fields(out.get("fields") or {})
+        return out
     return {
         "time_us": round(record.time, 6),
         "node": record.source,
         "subsystem": record.category,
         "event": record.message,
-        "fields": dict(record.fields),
+        "fields": _coerce_fields(dict(record.fields)),
     }
 
 
 def jsonl_lines(records: Iterable["TraceRecord"]) -> Iterable[str]:
-    """Deterministically encoded JSON line per record (no newline)."""
+    """Deterministically encoded JSON line per record (no newline).
+
+    Key order is the fixed schema order (coercion happened in
+    :func:`record_to_dict`); ``default=str`` remains as a last-resort
+    guard so an unanticipated type can never abort an export.
+    """
     for record in records:
-        yield json.dumps(record_to_dict(record), sort_keys=True,
+        yield json.dumps(record_to_dict(record),
                          separators=(",", ":"), default=str)
 
 
 def write_trace_jsonl(records: Iterable["TraceRecord"],
-                      path: str, *, append: bool = False) -> int:
-    """Write ``records`` to ``path`` as JSONL; returns the line count."""
+                      path: Union[str, "os.PathLike"], *,
+                      append: bool = False) -> int:
+    """Write ``records`` to ``path`` as JSONL; returns the line count.
+
+    A path ending in ``.gz`` writes gzip-compressed JSONL with a
+    zeroed timestamp (byte-deterministic); appending adds a gzip
+    member, which decompressors treat as a continuation of the stream.
+    """
     written = 0
+    if str(path).endswith(".gz"):
+        with open(path, "ab" if append else "wb") as raw:
+            with gzip.GzipFile(filename="", mode="wb", fileobj=raw,
+                               mtime=0) as fh:
+                for line in jsonl_lines(records):
+                    fh.write(line.encode("utf-8"))
+                    fh.write(b"\n")
+                    written += 1
+        return written
     with open(path, "a" if append else "w", encoding="utf-8") as fh:
         for line in jsonl_lines(records):
             fh.write(line)

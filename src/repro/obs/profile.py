@@ -1,0 +1,238 @@
+"""Per-phase latency decomposition and critical-path extraction.
+
+Reduces span streams (see :mod:`repro.obs.spans`) into the shape of the
+paper's Table 1: for each subsystem and lifecycle phase, the count,
+mean, p50, and p99 of virtual-time duration, additionally broken down
+by message-size bucket.  A second reducer extracts the critical path of
+collective synchronization (gfence/barrier epochs): which node arrived
+last and which phase dominated its window.
+
+Everything here is pure post-processing over serialized span dicts --
+deterministic (nearest-rank percentiles, fixed orderings), no NumPy,
+no simulator access -- so serial and parallel sweeps reduce to
+byte-identical tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+__all__ = ["PHASE_ORDER", "SIZE_BUCKETS", "bucket_of", "percentile",
+           "decompose", "render_decomposition", "critical_path",
+           "render_critical_path"]
+
+#: Canonical phase order: the paper's Table-1 decomposition first
+#: (call overhead / TX / wire / RX-DMA / dispatch / header handler /
+#: completion handler), then the auxiliary phases, then ``op`` (the
+#: end-to-end envelope).  Phases outside this list sort after it.
+PHASE_ORDER = ["call", "tx", "wire", "rx_dma", "dispatch",
+               "hdr_handler", "cmpl_handler", "counter_update", "copy",
+               "match", "unexpected_wait", "reorder_wait", "rndv_wait",
+               "drop", "op"]
+
+#: Always printed even with zero samples (the Table-1 shape).
+MANDATORY_PHASES = PHASE_ORDER[:7]
+
+#: Message-size buckets: (upper bound inclusive, label).
+SIZE_BUCKETS = [(0, "0B"), (256, "<=256B"), (4096, "<=4KB"),
+                (65536, "<=64KB"), (1048576, "<=1MB")]
+
+_PHASE_RANK = {p: i for i, p in enumerate(PHASE_ORDER)}
+
+
+def bucket_of(nbytes: Optional[int]) -> str:
+    """Size-bucket label for a message byte count (None = control)."""
+    if nbytes is None:
+        return "ctrl"
+    for bound, label in SIZE_BUCKETS:
+        if nbytes <= bound:
+            return label
+    return ">1MB"
+
+
+def percentile(sorted_vals: list[float], q: float) -> float:
+    """Deterministic nearest-rank percentile of pre-sorted values."""
+    n = len(sorted_vals)
+    if n == 0:
+        raise ValueError("percentile of an empty sequence")
+    idx = max(0, min(n - 1, math.ceil(q * n) - 1))
+    return sorted_vals[idx]
+
+
+def _phase_key(phase: str) -> tuple:
+    return (_PHASE_RANK.get(phase, len(PHASE_ORDER)), phase)
+
+
+def _stats(durations: list[float]) -> dict:
+    vals = sorted(durations)
+    return {
+        "count": len(vals),
+        "total_us": round(sum(vals), 6),
+        "mean_us": round(sum(vals) / len(vals), 6),
+        "p50_us": round(percentile(vals, 0.50), 6),
+        "p99_us": round(percentile(vals, 0.99), 6),
+    }
+
+
+def decompose(spans: Iterable[dict]) -> dict:
+    """Reduce span dicts to per-(subsystem, phase, bucket) statistics.
+
+    Returns ``{subsystem: {phase: {"all": stats, "buckets": {label:
+    stats}}}}`` with subsystems sorted and phases in
+    :data:`PHASE_ORDER`.  Input spans are the serialized form
+    (:func:`repro.obs.spans.span_to_dict`).
+    """
+    acc: dict[tuple[str, str, str], list[float]] = {}
+    for sp in spans:
+        fields = sp.get("fields") or {}
+        key = (sp["subsystem"], sp["phase"],
+               bucket_of(fields.get("bytes")))
+        acc.setdefault(key, []).append(sp["dur_us"])
+
+    out: dict[str, dict] = {}
+    subsystems = sorted({k[0] for k in acc})
+    for sub in subsystems:
+        phases = sorted({k[1] for k in acc if k[0] == sub},
+                        key=_phase_key)
+        sub_out: dict[str, dict] = {}
+        for phase in phases:
+            buckets = {k[2]: _stats(v) for k, v in acc.items()
+                       if k[0] == sub and k[1] == phase}
+            every = [d for k, v in acc.items()
+                     if k[0] == sub and k[1] == phase for d in v]
+            sub_out[phase] = {"all": _stats(every), "buckets": buckets}
+        out[sub] = sub_out
+    return out
+
+
+_BUCKET_ORDER = {label: i for i, (_, label)
+                 in enumerate(SIZE_BUCKETS + [(None, ">1MB"),
+                                              (None, "ctrl")])}
+
+
+def render_decomposition(spans: Iterable[dict],
+                         title: str = "") -> str:
+    """Text table of the per-phase decomposition (Table-1 shape).
+
+    One block per subsystem: the seven mandatory phases always print
+    (dashes when unobserved) so the decomposition keeps the paper's
+    shape even for workloads that skip phases; observed extra phases
+    follow.  A second sub-table breaks phases down by message-size
+    bucket when more than one bucket was observed.
+    """
+    stats = decompose(spans)
+    lines: list[str] = []
+    if title:
+        lines.append(f"-- phase decomposition: {title} --")
+    if not stats:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    hdr = (f"  {'phase':<14} {'count':>7} {'mean_us':>10}"
+           f" {'p50_us':>10} {'p99_us':>10} {'total_us':>12}")
+    for sub, phases in stats.items():
+        nspans = sum(p["all"]["count"] for p in phases.values())
+        lines.append(f"subsystem {sub} ({nspans} spans)")
+        lines.append(hdr)
+        printed = set()
+        for phase in MANDATORY_PHASES:
+            entry = phases.get(phase)
+            printed.add(phase)
+            if entry is None:
+                lines.append(f"  {phase:<14} {0:>7} {'-':>10} {'-':>10}"
+                             f" {'-':>10} {'-':>12}")
+            else:
+                lines.append(_stat_row(phase, entry["all"]))
+        for phase, entry in phases.items():
+            if phase not in printed:
+                lines.append(_stat_row(phase, entry["all"]))
+        bucket_rows = []
+        for phase, entry in phases.items():
+            labels = set(entry["buckets"])
+            if labels == {"ctrl"} or len(labels) < 2:
+                continue
+            for label in sorted(labels,
+                                key=lambda b: _BUCKET_ORDER.get(b, 99)):
+                bucket_rows.append(
+                    _stat_row(f"{phase}[{label}]",
+                              entry["buckets"][label]))
+        if bucket_rows:
+            lines.append("  by message-size bucket:")
+            lines.extend(bucket_rows)
+    return "\n".join(lines)
+
+
+def _stat_row(label: str, s: dict) -> str:
+    return (f"  {label:<14} {s['count']:>7} {s['mean_us']:>10.3f}"
+            f" {s['p50_us']:>10.3f} {s['p99_us']:>10.3f}"
+            f" {s['total_us']:>12.3f}")
+
+
+# ----------------------------------------------------------------------
+# critical path of synchronization epochs
+# ----------------------------------------------------------------------
+def critical_path(spans: Iterable[dict]) -> list[dict]:
+    """Per-epoch critical path of collective fences/barriers.
+
+    Groups ``gfence`` op spans by barrier epoch; for each epoch reports
+    the node whose fence finished last (the gate) and the phase that
+    accumulated the most virtual time on that node during the epoch's
+    window -- i.e. *which node and which phase gated completion*.
+    """
+    span_list = list(spans)
+    epochs: dict[int, list[dict]] = {}
+    for sp in span_list:
+        if sp["phase"] != "op" or sp["op"] != "gfence":
+            continue
+        fields = sp.get("fields") or {}
+        epoch = fields.get("epoch")
+        if epoch is None:
+            continue
+        epochs.setdefault(epoch, []).append(sp)
+
+    out = []
+    for epoch in sorted(epochs):
+        group = epochs[epoch]
+        enter = min(sp["t0_us"] for sp in group)
+        exit_ = max(sp["t1_us"] for sp in group)
+        gate = max(group, key=lambda sp: (sp["t1_us"], -sp["node"]))
+        phase_totals: dict[str, float] = {}
+        for sp in span_list:
+            if (sp["node"] == gate["node"] and sp["phase"] != "op"
+                    and sp["t1_us"] > enter and sp["t0_us"] < exit_):
+                phase_totals[sp["phase"]] = (
+                    phase_totals.get(sp["phase"], 0.0) + sp["dur_us"])
+        if phase_totals:
+            gate_phase = max(sorted(phase_totals),
+                             key=lambda p: phase_totals[p])
+            gate_phase_us = round(phase_totals[gate_phase], 6)
+        else:
+            gate_phase, gate_phase_us = "idle", 0.0
+        out.append({
+            "epoch": epoch,
+            "nodes": len(group),
+            "enter_us": round(enter, 6),
+            "exit_us": round(exit_, 6),
+            "duration_us": round(exit_ - enter, 6),
+            "gate_node": gate["node"],
+            "gate_exit_us": round(gate["t1_us"], 6),
+            "gate_phase": gate_phase,
+            "gate_phase_us": gate_phase_us,
+        })
+    return out
+
+
+def render_critical_path(spans: Iterable[dict]) -> str:
+    """Text block of the per-epoch critical path ('' if no epochs)."""
+    rows = critical_path(spans)
+    if not rows:
+        return ""
+    lines = ["  critical path (gfence epochs):",
+             f"  {'epoch':>5} {'nodes':>5} {'duration_us':>12}"
+             f" {'gate_node':>9} {'gate_phase':>14} {'phase_us':>10}"]
+    for r in rows:
+        lines.append(
+            f"  {r['epoch']:>5} {r['nodes']:>5}"
+            f" {r['duration_us']:>12.3f} {r['gate_node']:>9}"
+            f" {r['gate_phase']:>14} {r['gate_phase_us']:>10.3f}")
+    return "\n".join(lines)

@@ -66,6 +66,16 @@ class Simulator:
         self._active_process: Optional[Process] = None
         self._live_processes: set[Process] = set()
         self.trace = trace
+        #: Optional ``repro.obs.spans.SpanRecorder`` observing phase
+        #: boundaries (attached by the cluster).  Purely observational:
+        #: recording reads ``now`` and appends to host-side lists; it
+        #: never schedules events or consumes RNG, so arming it cannot
+        #: perturb virtual time.  Components reach it as ``sim.spans``
+        #: and must guard every hook on ``is not None``.  Causal
+        #: context rides packet uids / message ids in recorder-side
+        #: tables -- never the heap entries -- so :meth:`call_at` fast
+        #: timers stay allocation-free with spans on.
+        self.spans: Optional[Any] = None
         #: Count of events processed; useful for tests and runaway guards.
         self.events_processed: int = 0
 

@@ -1,5 +1,6 @@
 """Structured trace export: JSONL schema, determinism, file writing."""
 
+import gzip
 import json
 
 from repro.obs import jsonl_lines, record_to_dict, write_trace_jsonl
@@ -67,6 +68,27 @@ class TestWriteTraceJsonl:
         assert len(path.read_text().splitlines()) == 6
         write_trace_jsonl(_sample_records(), path)
         assert len(path.read_text().splitlines()) == 3
+
+    def test_gz_path_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        n = write_trace_jsonl(_sample_records(), path)
+        assert n == 3
+        lines = gzip.decompress(path.read_bytes()).decode().splitlines()
+        assert len(lines) == 3
+        assert json.loads(lines[0])["node"] == "node0"
+
+    def test_gz_append_concatenates_members(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        write_trace_jsonl(_sample_records(), path)
+        write_trace_jsonl(_sample_records(), path, append=True)
+        lines = gzip.decompress(path.read_bytes()).decode().splitlines()
+        assert len(lines) == 6
+
+    def test_gz_output_is_byte_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+        write_trace_jsonl(_sample_records(), a)
+        write_trace_jsonl(_sample_records(), b)
+        assert a.read_bytes() == b.read_bytes()
 
     def test_real_cluster_trace_round_trips(self, tmp_path):
         from repro.machine import Cluster
