@@ -17,6 +17,7 @@ verdicts.  ``python -m repro.bench`` runs everything.
 
 from .apps import run_apps
 from .bandwidth import run_fig2
+from .chaos import run_chaos
 from .parallel import (JobSpec, SweepExecutor, configure, get_executor,
                        spread_seed, sweep)
 from .ga_putget import run_fig3, run_fig4, run_ga_latency
@@ -47,6 +48,7 @@ __all__ = [
     "spread_seed",
     "sweep",
     "run_apps",
+    "run_chaos",
     "run_fig2",
     "run_fig3",
     "run_fig4",

@@ -50,6 +50,19 @@ Performance flags (see ``docs/performance.md``):
 ``--perf-quick``
     Reduced message-size sweeps for fig2/fig3/fig4 -- the CI smoke
     configuration.
+
+Fault injection (see ``docs/reliability.md``):
+
+``--faults``
+    Add the chaos bench to the run: sweep loss / outage / ack-loss /
+    CPU-fault / corruption regimes (``repro.faults``) over a LAPI put
+    workload and report goodput degradation and recovery per scenario.
+    Deterministic across ``--jobs N``.  ``--perf-quick`` reduces the
+    sweep.
+``--faults-out FILE``
+    Write the raw per-scenario chaos records (exact virtual times,
+    retransmission and drop counters) as sorted JSON -- CI diffs the
+    serial and ``--jobs N`` files byte-for-byte.  Implies ``--faults``.
 """
 
 from __future__ import annotations
@@ -59,7 +72,7 @@ import json
 import sys
 import time
 
-from . import ALL_EXPERIMENTS, run_fig2, run_fig3, run_fig4
+from . import ALL_EXPERIMENTS, run_chaos, run_fig2, run_fig3, run_fig4
 from . import parallel, runner
 from .bandwidth import lapi_bandwidth_point
 from ..obs import (render_critical_path, render_decomposition,
@@ -123,16 +136,32 @@ def main(argv: list[str]) -> int:
                         help="perf report path (default: BENCH_PERF.json)")
     parser.add_argument("--perf-quick", action="store_true",
                         help="reduced fig2/fig3/fig4 sweeps (CI smoke)")
+    parser.add_argument("--faults", action="store_true",
+                        help="run the chaos fault-injection bench"
+                             " (goodput degradation and recovery under"
+                             " loss/outage/CPU-fault regimes)")
+    parser.add_argument("--faults-out", metavar="FILE", default=None,
+                        help="write raw chaos records as sorted JSON"
+                             " (implies --faults)")
     opts = parser.parse_args(argv)
 
-    names = opts.experiments or list(ALL_EXPERIMENTS)
-    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    faults_on = (opts.faults or opts.faults_out is not None
+                 or "chaos" in opts.experiments)
+    known = dict(ALL_EXPERIMENTS)
+    if faults_on:
+        known["chaos"] = run_chaos
+    names = opts.experiments or list(known)
+    unknown = [n for n in names if n not in known]
     if unknown:
         print(f"unknown experiments: {unknown}; choose from"
-              f" {sorted(ALL_EXPERIMENTS)}")
+              f" {sorted(known)}")
         return 2
+    if faults_on and "chaos" not in names:
+        names.append("chaos")
 
-    experiments = dict(ALL_EXPERIMENTS)
+    experiments = dict(known)
+    if faults_on:
+        experiments["chaos"] = lambda: run_chaos(quick=opts.perf_quick)
     if opts.perf_quick:
         experiments["fig2"] = lambda: run_fig2(sizes=QUICK_SIZES["fig2"])
         experiments["fig3"] = lambda: run_fig3(sizes=QUICK_SIZES["fig3"])
@@ -159,11 +188,14 @@ def main(argv: list[str]) -> int:
     trace_lines = 0
     first_trace = True
     perf: dict = {}
+    chaos_payload = None
     span_streams: list[list[dict]] = []
     for name in names:
         start = time.perf_counter()
         result = experiments[name]()
         wall = time.perf_counter() - start
+        if name == "chaos":
+            chaos_payload = getattr(result, "payload", None)
         decomposition = None
         if observing:
             captures = runner.drain_captures()
@@ -210,6 +242,17 @@ def main(argv: list[str]) -> int:
         nspans = sum(len(s) for s in span_streams)
         print(f"wrote {nevents} trace events ({nspans} spans,"
               f" {len(span_streams)} clusters) to {opts.spans_out}")
+    if opts.faults_out is not None:
+        # Sorted keys + fixed float formatting (the records only hold
+        # rounded floats) make the file safe to byte-compare between
+        # serial and --jobs N runs.
+        report = {"schema": 1, "quick": opts.perf_quick,
+                  "scenarios": chaos_payload or {}}
+        with open(opts.faults_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(report['scenarios'])} chaos scenario"
+              f" records to {opts.faults_out}")
 
     if opts.perf:
         # Dedicated hot-path probe: the large-message end of Figure 2,

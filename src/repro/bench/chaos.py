@@ -1,0 +1,215 @@
+"""Chaos bench: goodput degradation and recovery under injected faults.
+
+``python -m repro.bench --faults`` sweeps a fixed set of fault regimes
+-- uniform and bursty (Gilbert-Elliott) loss, link outages, asymmetric
+ack loss, CPU pause/slowdown windows, payload corruption -- over a
+2-node LAPI put workload and reports, per scenario:
+
+* **goodput** (MB/s of application payload actually delivered),
+* **degradation** relative to the fault-free baseline,
+* **recovery time** (extra virtual time the run needed versus the
+  baseline -- how long the transport spent retransmitting, backing
+  off, and waiting out the fault),
+* transport retransmissions and injected fault drops,
+* end-to-end data integrity (the target's buffer is verified
+  byte-for-byte after the final fence).
+
+Every scenario is deterministic: fault draws come from the cluster's
+seeded ``faults`` RNG stream, so the whole table -- and the
+``--faults-out`` JSON -- is byte-identical across runs and between
+``--jobs 1`` and ``--jobs N`` (each scenario is one independent
+:class:`~repro.bench.parallel.JobSpec`).
+
+The workload runs with the adaptive (Jacobson/Karels) RTO machinery
+that a fault schedule auto-enables (see ``docs/reliability.md``); the
+baseline scenario has no schedule and therefore measures the exact
+fixed-timeout fault-free path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..faults import (AckLoss, Corruption, CpuDegrade, CpuPause,
+                      FaultSchedule, GilbertElliott, LinkOutage)
+from .parallel import JobSpec, sweep
+from .report import ExperimentResult
+from .runner import bandwidth_mbs, fresh_cluster
+
+__all__ = ["run_chaos", "chaos_jobs", "chaos_point", "chaos_scenarios",
+           "CHAOS_SEED"]
+
+#: Cluster seed of every chaos scenario (one cluster per scenario, so
+#: a shared seed keeps scenarios comparable without coupling them).
+CHAOS_SEED = 0xFA57
+
+#: Message size / count of the chaos workload (full sweep).
+CHAOS_BYTES = 4096
+CHAOS_MSGS = 24
+#: Reduced message count for ``--perf-quick`` (the CI smoke sweep).
+CHAOS_MSGS_QUICK = 10
+
+
+def chaos_scenarios(quick: bool = False) -> list[tuple[str,
+                                                       Optional[FaultSchedule]]]:
+    """The ``(name, schedule)`` sweep, baseline first.
+
+    Window times are virtual microseconds chosen to land inside the
+    workload (the fault-free run takes a few thousand us).
+    """
+    scenarios: list[tuple[str, Optional[FaultSchedule]]] = [
+        ("baseline", None),
+        ("loss_1pct", FaultSchedule([GilbertElliott(loss_good=0.01)])),
+        ("loss_5pct", FaultSchedule([GilbertElliott(loss_good=0.05)])),
+        ("loss_10pct", FaultSchedule([GilbertElliott(loss_good=0.10)])),
+        ("burst", FaultSchedule([
+            GilbertElliott(p_good_bad=0.02, p_bad_good=0.25,
+                           loss_bad=0.75)])),
+        ("outage_short", FaultSchedule([
+            LinkOutage(src=0, dst=1, start=400.0, end=900.0)])),
+        ("outage_long", FaultSchedule([
+            LinkOutage(src=0, dst=1, start=400.0, end=2400.0)])),
+        ("ack_loss", FaultSchedule([
+            AckLoss(src=1, dst=0, rate=0.3)])),
+        ("cpu_pause", FaultSchedule([
+            CpuPause(node=1, start=400.0, end=1400.0)])),
+        ("cpu_slow", FaultSchedule([
+            CpuDegrade(node=1, start=200.0, end=2200.0, factor=4.0)])),
+        ("corrupt", FaultSchedule([Corruption(rate=0.05)])),
+    ]
+    if quick:
+        keep = {"baseline", "loss_5pct", "burst", "outage_short",
+                "ack_loss", "cpu_pause", "corrupt"}
+        scenarios = [(n, s) for n, s in scenarios if n in keep]
+    return scenarios
+
+
+def chaos_point(nbytes: int, nmsgs: int,
+                schedule: Optional[FaultSchedule],
+                seed: int = CHAOS_SEED) -> dict:
+    """One chaos measurement: ping-ack LAPI puts under ``schedule``.
+
+    Module-level and picklable-in/picklable-out, so the sweep engine
+    can run scenarios on pool workers (``--jobs N``).
+    """
+    records: dict = {}
+    payload = bytes(i % 251 for i in range(nbytes))
+
+    def main(task):
+        lapi = task.lapi
+        mem = task.memory
+        buf = mem.malloc(nbytes)
+        yield from lapi.gfence()
+        if task.rank == 0:
+            src = mem.malloc(nbytes)
+            mem.write(src, payload)
+            cmpl = lapi.counter()
+            t0 = task.now()
+            for _ in range(nmsgs):
+                yield from lapi.put(1, nbytes, buf, src,
+                                    cmpl_cntr=cmpl)
+                yield from lapi.waitcntr(cmpl, 1)
+            records["elapsed"] = task.now() - t0
+        yield from lapi.gfence()
+        # Counters are read after the closing fence: dropped acks are
+        # absorbed by the send window during the put loop and only
+        # drain (retransmit, Karn-skip) in the background afterwards.
+        if task.rank == 0:
+            tr = lapi.transport
+            records["retransmissions"] = tr.retransmissions
+            records["karn_skips"] = tr.karn_skips
+            records["degraded_events"] = tr.peer_degraded_events
+            records["rto"] = tr.peer_rto(1)
+        if task.rank == 1:
+            records["intact"] = mem.read(buf, nbytes) == payload
+
+    cluster = fresh_cluster(2, seed=seed, faults=schedule)
+    cluster.run_job(main, stacks=("lapi",), interrupt_mode=False,
+                    until=2_000_000.0)
+    faults = cluster.faults
+    records["fault_drops"] = (
+        0 if faults is None
+        else faults.ge_drops + faults.outage_drops + faults.ack_drops)
+    records["crc_drops"] = 0 if faults is None else faults.crc_drops
+    records["virtual_us"] = round(cluster.sim.now, 6)
+    return records
+
+
+def chaos_jobs(quick: bool = False) -> list[JobSpec]:
+    """The chaos sweep as declarative job specs (one per scenario)."""
+    nmsgs = CHAOS_MSGS_QUICK if quick else CHAOS_MSGS
+    return [JobSpec(chaos_point, (CHAOS_BYTES, nmsgs, schedule,
+                                  CHAOS_SEED),
+                    key=("chaos", name))
+            for name, schedule in chaos_scenarios(quick)]
+
+
+def run_chaos(quick: bool = False) -> ExperimentResult:
+    """Run the chaos sweep and shape-check the degradation curves."""
+    names = [name for name, _ in chaos_scenarios(quick)]
+    nmsgs = CHAOS_MSGS_QUICK if quick else CHAOS_MSGS
+    points = dict(zip(names, sweep(chaos_jobs(quick))))
+
+    base = points["baseline"]
+    base_goodput = bandwidth_mbs(CHAOS_BYTES * nmsgs, base["elapsed"])
+    rows = []
+    for name in names:
+        rec = points[name]
+        goodput = bandwidth_mbs(CHAOS_BYTES * nmsgs, rec["elapsed"])
+        degradation = 100.0 * (1.0 - goodput / base_goodput)
+        # Whole-run virtual time, not just the put loop: background
+        # retransmissions drain after the sender's last completion.
+        recovery = rec["virtual_us"] - base["virtual_us"]
+        rows.append([
+            name, round(goodput, 2), round(degradation, 1),
+            round(recovery, 1), rec["retransmissions"],
+            rec["fault_drops"] + rec["crc_drops"],
+            "yes" if rec["intact"] else "NO",
+        ])
+
+    result = ExperimentResult(
+        experiment="chaos",
+        title="Chaos bench: goodput degradation and recovery under"
+              " injected faults",
+        headers=["scenario", "goodput MB/s", "degraded %",
+                 "recovery us", "retx", "drops", "intact"],
+        rows=rows)
+    result.notes.append(
+        f"workload: {nmsgs} x {CHAOS_BYTES}B LAPI puts (completion-"
+        f"waited), seed {CHAOS_SEED:#x}; adaptive RTO auto-enabled by"
+        " the installed schedule; deterministic across --jobs N")
+
+    result.check("baseline runs fault-free",
+                 base["retransmissions"] == 0
+                 and base["fault_drops"] == 0)
+    result.check("every scenario delivers intact data",
+                 all(points[n]["intact"] for n in names))
+    result.check("every fault scenario injected faults and recovered",
+                 all(points[n]["fault_drops"] + points[n]["crc_drops"]
+                     + points[n]["retransmissions"] > 0
+                     or points[n]["virtual_us"] > base["virtual_us"]
+                     for n in names if n != "baseline"))
+    lossy = [n for n in ("loss_1pct", "loss_5pct", "loss_10pct")
+             if n in points]
+    if len(lossy) > 1:
+        degr = [points[n]["elapsed"] for n in lossy]
+        result.check("loss degradation grows with the loss rate",
+                     all(a <= b for a, b in zip(degr, degr[1:])),
+                     " <= ".join(f"{d:.0f}us" for d in degr))
+    # The adaptive estimator should have learned an RTO far below the
+    # fixed 2000us retransmission timeout in any scenario that carried
+    # acks (i.e. all of them).
+    adapted = [n for n in names if n != "baseline"]
+    result.check("adaptive RTO learns an RTT-scaled timeout"
+                 " (below the fixed 2000us)",
+                 all(points[n]["rto"] < 2000.0 for n in adapted),
+                 f"max {max(points[n]['rto'] for n in adapted):.0f}us")
+    ack = points.get("ack_loss")
+    if ack is not None:
+        result.check("ack loss exercises Karn's rule"
+                     " (ambiguous RTT samples skipped)",
+                     ack["karn_skips"] > 0, str(ack["karn_skips"]))
+    #: Raw per-scenario records (including exact virtual times), used
+    #: by ``--faults-out`` so CI can diff determinism byte-for-byte.
+    result.payload = {name: points[name] for name in names}
+    return result

@@ -146,13 +146,17 @@ def drain_captures() -> list[ClusterCapture]:
 
 
 def fresh_cluster(nnodes: int = 2, config: MachineConfig = SP_1998,
-                  seed: int = 0xBE1) -> Cluster:
-    """A new cluster per measurement: no cross-experiment state."""
+                  seed: int = 0xBE1, faults=None) -> Cluster:
+    """A new cluster per measurement: no cross-experiment state.
+
+    ``faults`` is an optional :class:`repro.faults.FaultSchedule`
+    installed at construction time (the chaos bench's entry point).
+    """
     trace = Tracer(categories=_OBS.trace_categories,
                    limit=_OBS.trace_limit) if _OBS.trace else None
     spans = SpanRecorder() if _OBS.spans else None
     cluster = Cluster(nnodes=nnodes, config=config, seed=seed,
-                      trace=trace, spans=spans)
+                      trace=trace, spans=spans, faults=faults)
     if (_OBS.collect_metrics or _OBS.trace or _OBS.capture
             or _OBS.spans):
         _OBS.clusters.append(cluster)

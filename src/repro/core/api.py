@@ -60,7 +60,8 @@ class Lapi:
     code reaches it as ``task.lapi``.
     """
 
-    def __init__(self, task: "Task", interrupt_mode: bool = True) -> None:
+    def __init__(self, task: "Task", interrupt_mode: bool = True,
+                 error_handler: Optional[Callable] = None) -> None:
         self.task = task
         self.config = task.node.config
         self.ctx = LapiContext(task.cluster.sim, task.rank, task.size)
@@ -70,6 +71,12 @@ class Lapi:
         self.dispatcher: Optional[Dispatcher] = None
         self._initialized = False
         self._terminated = False
+        #: User error handler (the ``LAPI_Init`` registration): called
+        #: with the terminal error when the transport declares a peer
+        #: unreachable.  A truthy return suppresses the failure (the
+        #: handler recovered); otherwise the run terminates cleanly
+        #: through ``Cluster.fail_run``.
+        self._error_handler = error_handler
 
     # convenient shorthands ------------------------------------------------
     @property
@@ -118,13 +125,23 @@ class Lapi:
         yield from thread.execute(self.config.lapi_call_overhead)
         adapter = self.task.node.adapter
         self.client = adapter.attach_client(PROTO)
+        cfg = self.config
+        # adaptive_rto=None means auto: Jacobson/Karels timing exactly
+        # when a fault schedule is installed, fixed-timeout arithmetic
+        # (and its bit-exact virtual-time trajectory) otherwise.
+        adaptive = (cfg.adaptive_rto if cfg.adaptive_rto is not None
+                    else self.task.cluster.faults is not None)
         self.transport = ReliableTransport(
             self.sim, adapter, PROTO,
-            window=self.config.lapi_window,
-            timeout=self.config.lapi_retrans_timeout)
+            window=cfg.lapi_window,
+            timeout=cfg.lapi_retrans_timeout,
+            adaptive=adaptive, rto_min=cfg.rto_min,
+            rto_max=cfg.rto_max, backoff=cfg.rto_backoff,
+            degraded_after=cfg.peer_degraded_after)
         self.dispatcher = Dispatcher(self)
         self.transport.wait_credit = self._wait_credit
         self.transport.on_progress = self.ctx.progress_ws.notify_all
+        self.transport.on_fatal = self._transport_fatal
         self.client.delivery_filter = self._ack_fast_path
         self.client.on_arrival = self._spawn_interrupt_dispatcher
         self.client.interrupts_enabled = self.interrupt_mode
@@ -165,6 +182,26 @@ class Lapi:
         else:
             while not event.triggered:
                 yield from self.dispatcher.poll_step(thread)
+
+    def register_error_handler(self, fn: Optional[Callable]) -> None:
+        """Register (or clear) the LAPI error handler.
+
+        ``LAPI_Init`` semantics: ``fn(err)`` is invoked when the
+        transport hits a terminal failure (peer unreachable after
+        exhausting retransmissions).  Returning a truthy value marks
+        the error handled and the run continues; otherwise -- or with
+        no handler registered -- the run terminates cleanly through
+        :meth:`repro.machine.cluster.Cluster.fail_run` with the error's
+        node/peer/attempt context intact.
+        """
+        self._error_handler = fn
+
+    def _transport_fatal(self, err) -> None:
+        """Terminal transport failure: user handler, then fail_run."""
+        handler = self._error_handler
+        if handler is not None and handler(err):
+            return
+        self.task.cluster.fail_run(err)
 
     def _ack_fast_path(self, packet) -> bool:
         """Adapter-level handling of transport acknowledgements.

@@ -22,6 +22,25 @@ Design:
   control packets bypass the window so a dispatcher can always respond
   without blocking (deadlock freedom).
 
+Retransmission timing comes in two modes (see ``docs/reliability.md``):
+
+* **fixed** (default): every packet's retransmit deadline is
+  ``now + timeout`` -- the original arithmetic, kept bit-for-bit so
+  fault-free runs are byte-identical to historical outputs;
+* **adaptive** (``adaptive=True``; selected automatically when a
+  ``FaultSchedule`` is installed): Jacobson/Karels smoothed-RTT
+  estimation (``SRTT + 4*RTTVAR``, clamped to ``[rto_min, rto_max]``)
+  with exponential per-round backoff and Karn's rule (no RTT sample
+  from a retransmitted packet), plus a per-peer health state machine
+  ``healthy -> degraded -> unreachable``.
+
+Terminal failures (a peer that never acknowledges) no longer raise out
+of the bare kernel timer callback: they are routed through the
+``on_fatal`` hook, which the owning stack points at its registered
+error handler (``LAPI_Init`` semantics) and ultimately at
+``Cluster.fail_run`` so the run terminates cleanly with full
+node/peer/attempt context.
+
 The class is protocol-agnostic: LAPI instantiates it with its packet
 kinds, MPL with its own.
 """
@@ -30,6 +49,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
+from ..errors import PeerUnreachableError
 from ..sim import Semaphore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -38,19 +58,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..machine.packet import Packet
     from ..sim import Simulator
 
-__all__ = ["ReliableTransport", "ACK_HEADER_BYTES"]
+__all__ = ["ReliableTransport", "ACK_HEADER_BYTES",
+           "HEALTHY", "DEGRADED", "UNREACHABLE"]
 
 #: Wire size of a bare acknowledgement packet.
 ACK_HEADER_BYTES = 16
+
+#: Peer health states (sender-side view of one destination).
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+UNREACHABLE = "unreachable"
 
 
 class _PeerTx:
     """Sender-side state toward one peer."""
 
     __slots__ = ("next_seq", "unacked", "window", "timer_running",
-                 "attempts")
+                 "attempts", "srtt", "rttvar", "rto", "backoff_mult",
+                 "health")
 
-    def __init__(self, sim: "Simulator", window: int, name: str) -> None:
+    def __init__(self, sim: "Simulator", window: int, name: str,
+                 rto: float) -> None:
         self.next_seq = 0
         #: seq -> (packet, deadline, uses_window, on_ack, sent_at)
         self.unacked: dict[int, tuple] = {}
@@ -58,6 +86,16 @@ class _PeerTx:
         self.attempts: dict[int, int] = {}
         self.window = Semaphore(sim, value=window, name=f"win:{name}")
         self.timer_running = False
+        # Adaptive-RTO estimator state (Jacobson/Karels).  ``srtt`` is
+        # None until the first valid sample; ``rto`` starts at the
+        # configured timeout, the conventional pre-sample initial RTO.
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = rto
+        #: Karn backoff multiplier; doubles per retransmitting timer
+        #: round, resets to 1.0 on any fresh acknowledgement.
+        self.backoff_mult = 1.0
+        self.health = HEALTHY
 
 
 class _PeerRx:
@@ -92,18 +130,36 @@ class ReliableTransport:
     MAX_RETRANSMITS_PER_PACKET = 50
 
     def __init__(self, sim: "Simulator", adapter: "Adapter", proto: str,
-                 *, window: int, timeout: float,
-                 ack_kind: str = "ack") -> None:
+                 *, window: int, timeout: float, ack_kind: str = "ack",
+                 adaptive: bool = False, rto_min: float = 200.0,
+                 rto_max: float = 30000.0, backoff: float = 2.0,
+                 degraded_after: int = 3) -> None:
         self.sim = sim
         self.adapter = adapter
         self.proto = proto
         self.window_size = window
         self.timeout = timeout
         self.ack_kind = ack_kind
+        #: Adaptive (Jacobson/Karels) retransmission timing.  Off by
+        #: default: the fixed-timeout arithmetic below is kept
+        #: bit-identical to the historical path, which the byte-identity
+        #: contract of fault-free runs depends on.
+        self.adaptive = adaptive
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.backoff = backoff
+        self.degraded_after = degraded_after
         self._tx: dict[int, _PeerTx] = {}
         self._rx: dict[int, _PeerRx] = {}
         #: Called with (packet) after every retransmission (stats hooks).
         self.on_retransmit: Optional[Callable[["Packet"], None]] = None
+        #: Called with the terminal :class:`PeerUnreachableError` when a
+        #: peer exhausts its retransmission budget.  The owning stack
+        #: installs a structured handler (user error handler +
+        #: ``Cluster.fail_run``); without one the error is raised from
+        #: the timer callback -- loud, but with no run context.
+        self.on_fatal: Optional[
+            Callable[[PeerUnreachableError], None]] = None
         #: Generator ``(thread, event) -> None`` used to block on a send
         #: window credit.  The owning stack installs a progress-aware
         #: version: in polling mode the waiting thread must drive the
@@ -128,6 +184,14 @@ class ReliableTransport:
         #: Data retransmissions deferred because the TX FIFO had no
         #: free credit (retried on the next timer round).
         self.retransmit_backoffs = 0
+        #: RTT samples skipped under Karn's rule (the packet had been
+        #: retransmitted, so the ack is ambiguous).
+        self.karn_skips = 0
+        #: Peer health transitions (healthy -> degraded and back).
+        self.peer_degraded_events = 0
+        self.peer_recovered_events = 0
+        #: Peers declared unreachable (terminal).
+        self.peers_unreachable = 0
         #: Optional :class:`repro.obs.Histogram` observing the
         #: virtual-time gap between a packet's (latest) injection and
         #: its acknowledgement.  Installed by the owning stack.
@@ -138,7 +202,8 @@ class ReliableTransport:
         st = self._tx.get(peer)
         if st is None:
             st = _PeerTx(self.sim, self.window_size,
-                         f"{self.proto}{self.adapter.node_id}->{peer}")
+                         f"{self.proto}{self.adapter.node_id}->{peer}",
+                         self.timeout)
             self._tx[peer] = st
         return st
 
@@ -156,6 +221,16 @@ class ReliableTransport:
 
     def outstanding_total(self) -> int:
         return sum(len(st.unacked) for st in self._tx.values())
+
+    def peer_health(self, peer: int) -> str:
+        """Health state of one destination (sender-side view)."""
+        st = self._tx.get(peer)
+        return st.health if st is not None else HEALTHY
+
+    def peer_rto(self, peer: int) -> float:
+        """Current estimated RTO toward ``peer`` (before backoff)."""
+        st = self._tx.get(peer)
+        return st.rto if st is not None else self.timeout
 
     # ------------------------------------------------------------------
     # send side
@@ -185,12 +260,18 @@ class ReliableTransport:
         self._register(st, packet, uses_window=False, on_ack=on_ack)
         self.adapter.inject_control(packet)
 
+    def _deadline(self, st: _PeerTx, now: float) -> float:
+        """Retransmit deadline for a packet (re)injected at ``now``."""
+        if self.adaptive:
+            return now + min(st.rto * st.backoff_mult, self.rto_max)
+        return now + self.timeout
+
     def _register(self, st: _PeerTx, packet: "Packet", *,
                   uses_window: bool, on_ack) -> None:
         packet.seq = st.next_seq
         st.next_seq += 1
         now = self.sim.now
-        st.unacked[packet.seq] = (packet, now + self.timeout,
+        st.unacked[packet.seq] = (packet, self._deadline(st, now),
                                   uses_window, on_ack, now)
         if not st.timer_running:
             st.timer_running = True
@@ -222,6 +303,7 @@ class ReliableTransport:
         """
         peer, st = peer_st
         now = self.sim.now
+        retransmitted_any = False
         for seq in sorted(st.unacked):
             pkt, deadline, uses_window, on_ack, sent_at = \
                 st.unacked[seq]
@@ -229,13 +311,8 @@ class ReliableTransport:
                 continue
             tries = st.attempts.get(seq, 0) + 1
             if tries > self.MAX_RETRANSMITS_PER_PACKET:
-                from ..errors import NetworkError
-                raise NetworkError(
-                    f"{self.proto}@{self.adapter.node_id}: no"
-                    f" acknowledgement from node {peer} after"
-                    f" {tries - 1} retransmissions of {pkt!r}"
-                    " -- peer terminated or collective calls"
-                    " are mismatched")
+                self._peer_fatal(peer, st, pkt, tries)
+                return
             if uses_window:
                 if not self.adapter.inject_async(pkt):
                     # TX FIFO saturated: defer without charging an
@@ -248,14 +325,59 @@ class ReliableTransport:
                 self.adapter.inject_control(pkt)
             st.attempts[seq] = tries
             self.retransmissions += 1
-            st.unacked[seq] = (pkt, now + self.timeout,
+            retransmitted_any = True
+            if (self.adaptive and st.health == HEALTHY
+                    and tries >= self.degraded_after):
+                st.health = DEGRADED
+                self.peer_degraded_events += 1
+            st.unacked[seq] = (pkt, self._deadline(st, now),
                                uses_window, on_ack, now)
             if self.on_retransmit is not None:
                 self.on_retransmit(pkt)
+        if self.adaptive and retransmitted_any:
+            # Karn backoff: the round timed out, so double the effective
+            # RTO for the next one (bounded by rto_max at deadline
+            # computation).
+            st.backoff_mult *= self.backoff
         if st.unacked:
             self._arm_timer(peer, st)
         else:
             st.timer_running = False
+
+    def _peer_fatal(self, peer: int, st: _PeerTx, pkt: "Packet",
+                    tries: int) -> None:
+        """Declare ``peer`` unreachable and route the terminal error.
+
+        Abandons all packets in flight toward the peer (posting their
+        window credits so blocked senders can observe the failure
+        instead of hanging) and hands a :class:`PeerUnreachableError`
+        with full context to ``on_fatal``.  Raising from here -- a bare
+        kernel timer callback -- is the fallback for bare transports
+        only; stacks install a structured path through the registered
+        error handler and ``Cluster.fail_run``.
+        """
+        st.health = UNREACHABLE
+        st.timer_running = False
+        self.peers_unreachable += 1
+        for _, (_, _, uses_window, _, _) in sorted(st.unacked.items()):
+            if uses_window:
+                st.window.post()
+        st.unacked.clear()
+        st.attempts.clear()
+        err = PeerUnreachableError(
+            f"{self.proto}@{self.adapter.node_id}: no"
+            f" acknowledgement from node {peer} after"
+            f" {tries - 1} retransmissions of {pkt!r}"
+            " -- peer terminated or collective calls"
+            " are mismatched")
+        err.proto = self.proto
+        err.node = self.adapter.node_id
+        err.peer = peer
+        err.attempts = tries - 1
+        if self.on_fatal is not None:
+            self.on_fatal(err)
+        else:
+            raise err
 
     # ------------------------------------------------------------------
     # receive side
@@ -279,25 +401,54 @@ class ReliableTransport:
             self.duplicates_dropped += 1
         return fresh
 
+    def _observe_rtt(self, st: _PeerTx, sample: float) -> None:
+        """Fold one valid RTT sample into the Jacobson/Karels estimator
+        (alpha = 1/8, beta = 1/4; RTO = SRTT + 4*RTTVAR, clamped)."""
+        if st.srtt is None:
+            st.srtt = sample
+            st.rttvar = sample / 2.0
+        else:
+            delta = sample - st.srtt
+            st.srtt += 0.125 * delta
+            st.rttvar += 0.25 * (abs(delta) - st.rttvar)
+        st.rto = min(max(st.srtt + 4.0 * st.rttvar, self.rto_min),
+                     self.rto_max)
+
     def on_ack(self, packet: "Packet") -> None:
         """Process an arriving acknowledgement.
 
         Duplicate acknowledgements (retransmission overlap: both the
         original and the retransmitted copy got acked) and acks from
         peers with no send state are counted, not silently dropped.
+        Karn's rule applies to RTT sampling: an ack for a packet that
+        was ever retransmitted is ambiguous (it may answer the original
+        injection), so it contributes no sample to ``ack_rtt`` or the
+        adaptive estimator.
         """
         st = self._tx.get(packet.src)
         if st is None:
             self.duplicate_acks += 1
             return
-        entry = st.unacked.pop(packet.info["acked_seq"], None)
+        seq = packet.info["acked_seq"]
+        entry = st.unacked.pop(seq, None)
         if entry is None:
             self.duplicate_acks += 1
             return
-        st.attempts.pop(packet.info["acked_seq"], None)
+        retransmitted = seq in st.attempts
+        st.attempts.pop(seq, None)
         _, _, uses_window, on_ack, sent_at = entry
-        if self.ack_rtt is not None:
-            self.ack_rtt.observe(self.sim.now - sent_at)
+        if retransmitted:
+            self.karn_skips += 1
+        else:
+            if self.ack_rtt is not None:
+                self.ack_rtt.observe(self.sim.now - sent_at)
+            if self.adaptive:
+                self._observe_rtt(st, self.sim.now - sent_at)
+        if self.adaptive:
+            st.backoff_mult = 1.0
+            if st.health == DEGRADED:
+                st.health = HEALTHY
+                self.peer_recovered_events += 1
         if uses_window:
             st.window.post()
         if on_ack is not None:
@@ -307,8 +458,13 @@ class ReliableTransport:
 
     # ------------------------------------------------------------------
     def metrics(self) -> dict:
-        """Counter block for the observability registry (collector)."""
-        return {
+        """Counter block for the observability registry (collector).
+
+        The adaptive-mode counters (Karn skips, health transitions)
+        appear only once nonzero, so fault-free fixed-timeout runs keep
+        their historical ``--metrics`` blocks byte-identical.
+        """
+        out = {
             "retransmissions": self.retransmissions,
             "retransmit_backoffs": self.retransmit_backoffs,
             "duplicates_dropped": self.duplicates_dropped,
@@ -316,6 +472,15 @@ class ReliableTransport:
             "acks_sent": self.acks_sent,
             "unacked_in_flight": self.outstanding_total(),
         }
+        if self.karn_skips:
+            out["karn_rtt_skips"] = self.karn_skips
+        if self.peer_degraded_events:
+            out["peer_degraded_events"] = self.peer_degraded_events
+        if self.peer_recovered_events:
+            out["peer_recovered_events"] = self.peer_recovered_events
+        if self.peers_unreachable:
+            out["peers_unreachable"] = self.peers_unreachable
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<ReliableTransport {self.proto}@{self.adapter.node_id}"

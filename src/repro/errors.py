@@ -16,6 +16,7 @@ __all__ = [
     "MemoryFault",
     "AllocationError",
     "NetworkError",
+    "PeerUnreachableError",
     "LapiError",
     "MplError",
     "GaError",
@@ -53,6 +54,22 @@ class AllocationError(MachineError):
 
 class NetworkError(MachineError):
     """A packet violated switch/adapter invariants (bad route, oversize...)."""
+
+
+class PeerUnreachableError(NetworkError):
+    """The reliable transport gave up on a peer after exhausting
+    retransmissions.
+
+    Constructed with the message only (so the exception survives
+    pickling across sweep-engine worker processes); the transport sets
+    the structured context -- ``proto``, ``node``, ``peer``,
+    ``attempts`` -- as attributes after construction.
+    """
+
+    proto: str = ""
+    node: int = -1
+    peer: int = -1
+    attempts: int = 0
 
 
 class LapiError(ReproError):

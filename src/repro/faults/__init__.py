@@ -1,0 +1,19 @@
+"""Deterministic seeded fault injection (``repro.faults``).
+
+Declarative fault scenarios for the simulated SP: bursty per-link loss
+(Gilbert-Elliott), timed link outages, asymmetric ack loss, payload
+corruption caught by the receive-side CRC check, and per-node CPU
+pause/slowdown windows.  Build a :class:`FaultSchedule` from clauses
+and hand it to ``Cluster(..., faults=schedule)``; see
+``docs/reliability.md`` for the model and the adaptive retransmission
+machinery that survives it.
+"""
+
+from .runtime import FaultRuntime
+from .schedule import (AckLoss, Corruption, CpuDegrade, CpuPause,
+                       FaultClause, FaultSchedule, GilbertElliott,
+                       LinkOutage)
+
+__all__ = ["FaultSchedule", "FaultClause", "GilbertElliott",
+           "LinkOutage", "AckLoss", "Corruption", "CpuPause",
+           "CpuDegrade", "FaultRuntime"]

@@ -1,0 +1,229 @@
+"""Compiled fault-injection hooks for one cluster.
+
+:meth:`repro.faults.FaultSchedule.install` builds one
+:class:`FaultRuntime` per cluster.  The runtime owns all mutable fault
+state -- the Gilbert-Elliott chain states, the per-node CPU window
+tables, the fault counters -- and hangs itself off the machine layer's
+pre-existing ``faults`` attachment points:
+
+* ``switch.faults``   -- consulted per routed packet (:meth:`judge`);
+* ``adapter.faults``  -- consulted when a corrupted packet is discarded
+  at the receive-side CRC check;
+* ``cpu.faults``      -- a compiled :class:`_CpuFaults` window table
+  stretching ``Thread.execute`` costs (only on nodes a CPU clause
+  names).
+
+All attachment points default to ``None`` and every hot-path hook is a
+single ``is not None`` test, so a cluster without a schedule pays
+nothing and its virtual-time trajectory is untouched (the byte-identity
+contract).  All randomness is drawn from the cluster's seeded
+``faults`` RNG stream in deterministic per-packet clause order, so a
+given seed reproduces the same fault pattern serially or under
+``--jobs N``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import MachineError
+from .schedule import (AckLoss, Corruption, FaultSchedule, GilbertElliott,
+                       LinkOutage, _CpuClause, _LinkClause)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.cluster import Cluster
+    from ..machine.packet import Packet
+
+__all__ = ["FaultRuntime"]
+
+
+class _CpuFaults:
+    """Compiled CPU pause/slowdown windows of one node.
+
+    ``windows`` is a sorted, non-overlapping list of
+    ``(start, end, rate)`` where ``rate`` is the CPU progress rate
+    inside the window (0.0 = full pause, ``1/factor`` for a slowdown).
+    :meth:`elapsed` converts a nominal CPU cost starting at ``now``
+    into the virtual time it actually takes, walking the windows
+    piecewise.
+    """
+
+    __slots__ = ("windows", "stall_us")
+
+    def __init__(self, windows: list[tuple[float, float, float]]) -> None:
+        self.windows = windows
+        #: Total virtual time lost to pause/slowdown (elapsed - work).
+        self.stall_us = 0.0
+
+    def elapsed(self, now: float, work: float) -> float:
+        """Virtual time a ``work``-us execute burst takes from ``now``."""
+        t = now
+        remaining = work
+        for start, end, rate in self.windows:
+            if remaining <= 0.0:
+                break
+            if end <= t:
+                continue
+            if t < start:
+                gap = start - t
+                if remaining <= gap:
+                    t += remaining
+                    remaining = 0.0
+                    break
+                t = start
+                remaining -= gap
+            if rate == 0.0:
+                t = end
+            else:
+                achievable = (end - t) * rate
+                if remaining <= achievable:
+                    t += remaining / rate
+                    remaining = 0.0
+                    break
+                remaining -= achievable
+                t = end
+        if remaining > 0.0:
+            t += remaining
+        stretch = (t - now) - work
+        if stretch > 0.0:
+            self.stall_us += stretch
+        return t - now
+
+
+class FaultRuntime:
+    """Live fault state of one cluster (built by ``FaultSchedule.install``)."""
+
+    def __init__(self, schedule: FaultSchedule,
+                 cluster: "Cluster") -> None:
+        self.schedule = schedule
+        self.sim = cluster.sim
+        self.rng = cluster.rng.stream("faults")
+        nnodes = cluster.nnodes
+        #: Link-affecting clauses in schedule order (first verdict wins);
+        #: each paired with its index, the Gilbert-Elliott state key.
+        self._link_clauses: list[tuple[int, _LinkClause]] = []
+        cpu_windows: dict[int, list[tuple[float, float, float]]] = {}
+        for idx, clause in enumerate(schedule.clauses):
+            if isinstance(clause, _LinkClause):
+                for nid in (clause.src, clause.dst):
+                    if nid is not None and not (0 <= nid < nnodes):
+                        raise MachineError(
+                            f"{type(clause).__name__}: node {nid} outside"
+                            f" cluster of {nnodes} nodes")
+                self._link_clauses.append((idx, clause))
+            elif isinstance(clause, _CpuClause):
+                if not (0 <= clause.node < nnodes):
+                    raise MachineError(
+                        f"{type(clause).__name__}: node {clause.node}"
+                        f" outside cluster of {nnodes} nodes")
+                cpu_windows.setdefault(clause.node, []).append(
+                    (clause.start, clause.end, clause.rate()))
+        #: Gilbert-Elliott chain state per (clause index, src, dst):
+        #: True while the link is in the bad state.
+        self._ge_bad: dict[tuple[int, int, int], bool] = {}
+        self._cpu: dict[int, _CpuFaults] = {
+            node: _CpuFaults(sorted(windows))
+            for node, windows in cpu_windows.items()}
+        # Fault counters (surfaced through the "faults" metrics
+        # subsystem, which exists only while a schedule is installed).
+        self.ge_drops = 0
+        self.outage_drops = 0
+        self.ack_drops = 0
+        self.crc_drops = 0
+
+        # Hook into the machine layer.
+        cluster.switch.faults = self
+        for node in cluster.nodes:
+            node.adapter.faults = self
+            cpu_faults = self._cpu.get(node.node_id)
+            if cpu_faults is not None:
+                node.cpu.faults = cpu_faults
+        cluster.metrics.register_collector("faults", self.metrics)
+
+    # ------------------------------------------------------------------
+    # fabric path (called by Switch.route)
+    # ------------------------------------------------------------------
+    def judge(self, packet: "Packet", now: float) -> Optional[str]:
+        """Fate of one routed packet: ``None`` (unharmed) or a verdict.
+
+        Verdicts: ``"ge"`` / ``"outage"`` / ``"ack"`` mean the fabric
+        drops the packet; ``"corrupt"`` means it traverses the wire but
+        fails the destination adapter's CRC check.  Clauses are
+        consulted in schedule order and the first verdict wins; RNG
+        draws are taken in that same order, making the fault pattern a
+        pure function of the seed and the packet sequence.
+        """
+        rng = self.rng
+        src = packet.src
+        dst = packet.dst
+        for idx, clause in self._link_clauses:
+            if not clause.active(now):
+                continue
+            if not clause.matches_pair(src, dst):
+                continue
+            if type(clause) is GilbertElliott:
+                key = (idx, src, dst)
+                bad = self._ge_bad.get(key, False)
+                flip_p = clause.p_bad_good if bad else clause.p_good_bad
+                if flip_p > 0.0 and rng.random() < flip_p:
+                    bad = not bad
+                    self._ge_bad[key] = bad
+                loss = clause.loss_bad if bad else clause.loss_good
+                if loss > 0.0 and rng.random() < loss:
+                    return "ge"
+            elif type(clause) is LinkOutage:
+                return "outage"
+            elif type(clause) is AckLoss:
+                if str(packet.kind) != "ack":
+                    continue
+                if rng.random() < clause.rate:
+                    return "ack"
+            elif type(clause) is Corruption:
+                if rng.random() < clause.rate:
+                    return "corrupt"
+        return None
+
+    def record_drop(self, verdict: str, packet: "Packet",
+                    now: float) -> None:
+        """Count a fabric drop and emit its span instant event."""
+        if verdict == "ge":
+            self.ge_drops += 1
+        elif verdict == "outage":
+            self.outage_drops += 1
+        else:
+            self.ack_drops += 1
+        sp = self.sim.spans
+        if sp is not None:
+            sp.emit(packet.src, "faults", verdict, "fault", now, now,
+                    uid=packet.uid, dst=packet.dst)
+
+    # ------------------------------------------------------------------
+    # receive path (called by Adapter on CRC discard)
+    # ------------------------------------------------------------------
+    def record_crc(self, packet: "Packet", now: float) -> None:
+        """Count a corruption discard and emit its span instant event."""
+        self.crc_drops += 1
+        sp = self.sim.spans
+        if sp is not None:
+            sp.emit(packet.dst, "faults", "corrupt", "fault", now, now,
+                    uid=packet.uid, src=packet.src)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Counter block for the observability registry (collector)."""
+        out = {
+            "ge_drops": self.ge_drops,
+            "outage_drops": self.outage_drops,
+            "ack_drops": self.ack_drops,
+            "crc_drops": self.crc_drops,
+            "fault_drops": (self.ge_drops + self.outage_drops
+                            + self.ack_drops + self.crc_drops),
+        }
+        stall = sum(cf.stall_us for cf in self._cpu.values())
+        out["cpu_stall_us"] = round(stall, 6)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FaultRuntime {len(self.schedule)} clauses"
+                f" drops={self.ge_drops + self.outage_drops}"
+                f" ack={self.ack_drops} crc={self.crc_drops}>")

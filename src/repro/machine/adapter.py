@@ -113,10 +113,17 @@ class Adapter:
                                      name=f"txcred{node_id}")
         self._rx_dma = SerialResource(f"rxdma{node_id}")
         sim.process(self._tx_engine(), name=f"adapter{node_id}.tx")
+        #: Optional :class:`repro.faults.FaultRuntime`; set when a fault
+        #: schedule is installed on the cluster.  Disables the analytic
+        #: train fast path and accounts CRC discards.
+        self.faults = None
         # Statistics
         self.packets_sent = 0
         self.packets_received = 0
         self.rx_dropped = 0
+        #: Packets discarded by the receive-side CRC check (payload
+        #: corruption injected by a fault schedule).
+        self.rx_crc_dropped = 0
         #: Fast-path diagnostics (kept out of :meth:`metrics` so the
         #: observability snapshot is independent of ``fast_trains``):
         #: trains collapsed by the TX engine and interior packets they
@@ -154,12 +161,20 @@ class Adapter:
             sp.packet_dropped(packet, self.sim.now)
 
     def metrics(self) -> dict:
-        """Counter block for the observability registry (collector)."""
-        return {
+        """Counter block for the observability registry (collector).
+
+        ``rx_crc_dropped`` appears only once nonzero (it can only fire
+        under an installed fault schedule), keeping fault-free metrics
+        blocks byte-identical to historical output.
+        """
+        out = {
             "packets_sent": self.packets_sent,
             "packets_received": self.packets_received,
             "rx_dropped": self.rx_dropped,
         }
+        if self.rx_crc_dropped:
+            out["rx_crc_dropped"] = self.rx_crc_dropped
+        return out
 
     # ------------------------------------------------------------------
     # transmit path
@@ -284,7 +299,8 @@ class Adapter:
         ``None`` when the fast path must not engage.
         """
         cfg = self.config
-        if not cfg.fast_trains or cfg.loss_rate > 0.0:
+        if (not cfg.fast_trains or cfg.loss_rate > 0.0
+                or self.faults is not None):
             return None
         hinfo = head.info
         msg_key = hinfo.get("msg_id", hinfo.get("msg_seq"))
@@ -352,6 +368,36 @@ class Adapter:
         # now + (finish - now) form matches the Timeout it replaced so
         # completion times stay bit-identical.
         self.sim.call_at(now + (finish - now), self._enqueue, packet)
+
+    def deliver_corrupt(self, packet: "Packet") -> None:
+        """A packet that arrived with its payload corrupted in flight.
+
+        It consumed wire bandwidth and receive-DMA like any arrival but
+        fails the CRC check at DMA completion and is discarded before
+        demultiplexing -- the reliability layer's retransmission
+        recovers it, exactly as for a fabric drop, except the waste is
+        maximal (the whole wire path was paid for nothing).
+        """
+        now = self.sim.now
+        sp = self.sim.spans
+        if sp is not None:
+            sp.packet_delivered(packet, now)
+        finish = self._rx_dma.occupy(now, self.config.adapter_recv_dma)
+        self.sim.call_at(now + (finish - now), self._discard_corrupt,
+                         packet)
+
+    def _discard_corrupt(self, packet: "Packet") -> None:
+        """CRC check failed at receive-DMA completion: drop the packet."""
+        self.rx_crc_dropped += 1
+        if self.faults is not None:
+            self.faults.record_crc(packet, self.sim.now)
+        if self.trace is not None and self.trace.wants("rxdrop"):
+            self.trace.log(self.sim.now, f"adapter{self.node_id}",
+                           "rxdrop", f"{packet!r} [crc]", crc=True,
+                           **packet.trace_fields())
+        sp = self.sim.spans
+        if sp is not None:
+            sp.packet_corrupted(packet, self.sim.now)
 
     def _enqueue(self, packet: "Packet") -> None:
         client = self.clients.get(packet.proto)

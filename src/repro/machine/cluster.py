@@ -85,7 +85,8 @@ class Cluster:
     def __init__(self, nnodes: int, config: MachineConfig = SP_1998,
                  seed: int = 0xC0FFEE,
                  trace: Optional[Tracer] = None,
-                 spans: Optional[Any] = None) -> None:
+                 spans: Optional[Any] = None,
+                 faults: Optional[Any] = None) -> None:
         if nnodes < 1:
             raise MachineError("cluster needs at least one node")
         config.validate()
@@ -119,6 +120,29 @@ class Cluster:
                 node=node.node_id)
         self.metrics.register_collector("machine.switch",
                                         self.switch.metrics)
+        #: Terminal error recorded by :meth:`fail_run`; checked by the
+        #: :meth:`run_job` event loop after every kernel step.
+        self._fatal: Optional[BaseException] = None
+        #: Compiled fault runtime (:mod:`repro.faults`), or None.  An
+        #: installed schedule hooks the switch/adapters/CPUs above and
+        #: flips the reliable transports into adaptive-RTO mode; no
+        #: schedule (or an empty one) leaves every hot path untouched.
+        self.faults = faults.install(self) if faults is not None else None
+
+    def fail_run(self, err: BaseException) -> None:
+        """Terminate the running job cleanly with ``err``.
+
+        Structured failure path for errors detected in bare kernel
+        callbacks (retransmission exhaustion fires on a timer with no
+        thread or run context): the error is parked here and raised
+        from :meth:`run_job`'s event loop at the next step boundary,
+        so callers see it with the full job context instead of a
+        traceback out of ``Simulator.step``.  The first error wins;
+        later ones (cascading failures of an already-dying run) are
+        dropped.
+        """
+        if self._fatal is None:
+            self._fatal = err
 
     @property
     def nnodes(self) -> int:
@@ -153,7 +177,8 @@ class Cluster:
                 interrupt_mode: bool = True,
                 eager_limit: Optional[int] = None,
                 max_events: Optional[int] = None,
-                until: Optional[float] = None) -> list[Any]:
+                until: Optional[float] = None,
+                error_handler: Optional[Callable] = None) -> list[Any]:
         """Run ``fn`` as an SPMD job; returns per-rank return values.
 
         Parameters
@@ -180,6 +205,10 @@ class Cluster:
             Kernel safety valve.
         until:
             Abort the job if virtual time exceeds this (test hangs).
+        error_handler:
+            LAPI error handler registered at ``LAPI_Init`` time on
+            every task (``fn(err) -> bool``); see
+            :meth:`repro.core.api.Lapi.register_error_handler`.
         """
         size = ntasks if ntasks is not None else self.nnodes
         if size > self.nnodes:
@@ -203,7 +232,8 @@ class Cluster:
         if "lapi" in stack_set:
             from ..core.api import Lapi
             for task in tasks:
-                task.lapi = Lapi(task, interrupt_mode=interrupt_mode)
+                task.lapi = Lapi(task, interrupt_mode=interrupt_mode,
+                                 error_handler=error_handler)
         if "mpl" in stack_set:
             from ..mpl.api import Mpl
             for task in tasks:
@@ -239,8 +269,11 @@ class Cluster:
         threads = [task.node.cpu.spawn(main_body(task),
                                        name=f"task{task.rank}.main")
                    for task in tasks]
+        self._fatal = None
         done = self.sim.all_of([t.process for t in threads])
         while not done.triggered:
+            if self._fatal is not None:
+                raise self._fatal
             if until is not None and self.sim.peek() > until:
                 raise MachineError(
                     f"job exceeded virtual-time budget of {until}us")
@@ -254,6 +287,8 @@ class Cluster:
                 raise MachineError(
                     f"job deadlocked; unfinished tasks: {alive}")
             self.sim.step()
+        if self._fatal is not None:
+            raise self._fatal
         for t in threads:
             if t.process.triggered and not t.process.ok:
                 raise t.process.value

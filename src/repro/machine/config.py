@@ -22,7 +22,9 @@ Units: time in microseconds, sizes in bytes, bandwidth in bytes/us
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["MachineConfig", "SP_1998"]
 
@@ -154,6 +156,29 @@ class MachineConfig:
     lapi_ack_cost: float = 1.0
 
     # ------------------------------------------------------------------
+    # Adaptive retransmission (Jacobson/Karels RTO; see
+    # docs/reliability.md).  ``adaptive_rto=None`` means *auto*: the
+    # transports adapt exactly when a ``FaultSchedule`` is installed on
+    # the cluster, so fault-free runs keep the fixed-timeout arithmetic
+    # (and its virtual-time trajectory) bit-for-bit.  ``True``/``False``
+    # force the choice either way (ablations).
+    # ------------------------------------------------------------------
+    adaptive_rto: Optional[bool] = None
+    #: Lower clamp on the estimated RTO: below this, jitter in the RTT
+    #: samples would cause spurious retransmission storms.
+    rto_min: float = 200.0
+    #: Upper clamp on the backed-off RTO: keeps recovery probes flowing
+    #: through long outages instead of backing off into silence.
+    rto_max: float = 30000.0
+    #: Exponential backoff multiplier applied per retransmission round
+    #: while a packet stays unacknowledged (Karn's backoff).
+    rto_backoff: float = 2.0
+    #: Retransmission attempts for one packet before the transport marks
+    #: the peer *degraded* (health state machine; the peer returns to
+    #: *healthy* on the next fresh acknowledgement).
+    peer_degraded_after: int = 3
+
+    # ------------------------------------------------------------------
     # MPL / MPI protocol constants (the baseline stack)
     # ------------------------------------------------------------------
     #: MPI packet header (section 4: 16 bytes).
@@ -260,6 +285,26 @@ class MachineConfig:
             raise ValueError("switch topology parameters must be >= 1")
         if self.mpl_eager_limit > self.mpl_eager_limit_max:
             raise ValueError("eager limit exceeds its maximum")
+        for name in ("lapi_retrans_timeout", "mpl_retrans_timeout"):
+            timeout = getattr(self, name)
+            if not (timeout > 0 and math.isfinite(timeout)):
+                raise ValueError(
+                    f"{name} must be positive and finite, got {timeout}")
+        for name in ("lapi_window", "mpl_window"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if not (0 < self.rto_min <= self.rto_max
+                and math.isfinite(self.rto_max)):
+            raise ValueError(
+                "need 0 < rto_min <= rto_max, both finite"
+                f" (got {self.rto_min}, {self.rto_max})")
+        if not (self.rto_backoff >= 1.0
+                and math.isfinite(self.rto_backoff)):
+            raise ValueError(
+                f"rto_backoff must be finite and >= 1,"
+                f" got {self.rto_backoff}")
+        if self.peer_degraded_after < 1:
+            raise ValueError("peer_degraded_after must be >= 1")
 
 
 #: The calibration used throughout the reproduction: a 1998 SP with

@@ -94,13 +94,24 @@ class Thread:
     # the three verbs of a simulated thread
     # ------------------------------------------------------------------
     def execute(self, cost: float) -> Generator:
-        """Consume ``cost`` us of CPU, non-preemptibly."""
+        """Consume ``cost`` us of CPU, non-preemptibly.
+
+        Under an installed fault schedule with CPU pause/slowdown
+        windows on this node, the *virtual* duration of the burst is
+        stretched by the window table while ``cpu_time`` still accounts
+        the nominal work -- the node got slower, not busier.
+        """
         if cost < 0:
             raise MachineError(f"negative execute cost {cost}")
         if not self._holding:
             yield from self._acquire()
         if cost > 0:
-            yield self.sim.timeout(cost)
+            faults = self.cpu.faults
+            if faults is not None:
+                yield self.sim.timeout(
+                    faults.elapsed(self.sim.now, cost))
+            else:
+                yield self.sim.timeout(cost)
             self.cpu_time += cost
 
     def compute(self, cost: float, quantum: float = 50.0) -> Generator:
@@ -153,6 +164,10 @@ class Cpu:
         self._lock = SimLock(sim, name=f"cpu{node_id}")
         self._by_process: dict[Process, Thread] = {}
         self._spawned = 0
+        #: Optional compiled CPU fault windows
+        #: (:class:`repro.faults.runtime._CpuFaults`) stretching
+        #: ``Thread.execute`` bursts; None = full speed (default).
+        self.faults = None
 
     def spawn(self, body: Callable[[Thread], Generator], *,
               name: Optional[str] = None,

@@ -36,6 +36,10 @@ class Switch:
         self._route_rng = rng.stream("switch.route")
         self._loss_rng = rng.stream("switch.loss")
         self.trace = trace
+        #: Optional :class:`repro.faults.FaultRuntime` consulted per
+        #: routed packet.  None (the default) keeps the hot path at a
+        #: single attribute test.
+        self.faults = None
         # Config and topology are immutable per run, so candidate routes
         # per (src, dst) pair are computed once; the per-packet path is
         # a dict hit instead of Route/list construction.
@@ -89,6 +93,27 @@ class Switch:
                 sp.packet_lost(packet, self.sim.now)
             return
 
+        corrupt = False
+        if self.faults is not None:
+            verdict = self.faults.judge(packet, self.sim.now)
+            if verdict == "corrupt":
+                # Corrupted packets traverse the whole wire (consuming
+                # link occupancy below) and die at the destination
+                # adapter's CRC check -- the worst-case waste mode.
+                corrupt = True
+            elif verdict is not None:
+                self.packets_lost += 1
+                self.faults.record_drop(verdict, packet, self.sim.now)
+                if self.trace is not None and self.trace.wants("loss"):
+                    self.trace.log(self.sim.now, "switch", "loss",
+                                   f"{packet!r} [{verdict}]",
+                                   fault=verdict,
+                                   **packet.trace_fields())
+                sp = self.sim.spans
+                if sp is not None:
+                    sp.packet_lost(packet, self.sim.now)
+                return
+
         candidates = self.route_candidates(packet.src, packet.dst)
         if len(candidates) == 1:
             # Same-group fast path: single deterministic route, no RNG
@@ -117,7 +142,9 @@ class Switch:
         # now + (t - now) round trip mirrors the Timeout it replaced so
         # delivery times stay bit-identical to the historical path.
         delay = t - self.sim.now
-        self.sim.call_at(self.sim.now + delay, dst_adapter.deliver, packet)
+        deliver = (dst_adapter.deliver_corrupt if corrupt
+                   else dst_adapter.deliver)
+        self.sim.call_at(self.sim.now + delay, deliver, packet)
 
     # ------------------------------------------------------------------
     def metrics(self) -> dict:

@@ -107,13 +107,25 @@ class Mpl:
         yield from thread.execute(self.config.mpl_call_overhead)
         adapter = self.task.node.adapter
         self.client = adapter.attach_client(PROTO)
+        cfg = self.config
+        # Same auto rule as LAPI: adapt exactly when a fault schedule
+        # is installed (see docs/reliability.md).
+        adaptive = (cfg.adaptive_rto if cfg.adaptive_rto is not None
+                    else self.task.cluster.faults is not None)
         self.transport = ReliableTransport(
             self.sim, adapter, PROTO,
-            window=self.config.mpl_window,
-            timeout=self.config.mpl_retrans_timeout)
+            window=cfg.mpl_window,
+            timeout=cfg.mpl_retrans_timeout,
+            adaptive=adaptive, rto_min=cfg.rto_min,
+            rto_max=cfg.rto_max, backoff=cfg.rto_backoff,
+            degraded_after=cfg.peer_degraded_after)
         self.dispatcher = MplDispatcher(self)
         self.transport.wait_credit = self._wait_credit
         self.transport.on_progress = self.ctx.progress_ws.notify_all
+        # MPL has no user error-handler registration; terminal
+        # transport failures go straight to the structured run
+        # termination path.
+        self.transport.on_fatal = self.task.cluster.fail_run
         self.client.delivery_filter = self._ack_fast_path
         self.client.on_arrival = self._spawn_interrupt_dispatcher
         self.client.interrupts_enabled = self.interrupt_mode

@@ -298,6 +298,16 @@ class SpanRecorder:
                   t0, now, parent=track.parent, uid=pkt.uid,
                   bytes=track.nbytes, pkt_bytes=pkt.size)
 
+    def packet_corrupted(self, pkt: "Packet", now: float) -> None:
+        """Packet discarded by the receive-side CRC check (fault
+        injection): it paid the full wire + receive-DMA path before
+        dying, unlike a fabric loss."""
+        track = self._track(pkt)
+        t0 = track.rx if track.rx is not None else now
+        self.emit(pkt.dst, pkt.proto, track.op or str(pkt.kind), "drop",
+                  t0, now, parent=track.parent, uid=pkt.uid,
+                  bytes=track.nbytes, pkt_bytes=pkt.size, crc=True)
+
     def packet_dispatched(self, pkt: "Packet", now: float) -> None:
         """Dispatcher picked the packet up (queue wait + demux done)."""
         track = self._track(pkt)

@@ -1,0 +1,65 @@
+"""Chaos bench: scenario determinism and serial/parallel parity."""
+
+import pytest
+
+from repro.bench import parallel, runner
+from repro.bench.chaos import (CHAOS_BYTES, CHAOS_SEED, chaos_jobs,
+                               chaos_point, chaos_scenarios, run_chaos)
+from repro.bench.parallel import sweep
+from repro.faults import FaultSchedule, GilbertElliott
+
+
+@pytest.fixture
+def restore_engine():
+    yield
+    runner.configure_observability()
+    parallel.configure(1)
+
+
+class TestScenarios:
+    def test_baseline_first_and_unique_names(self):
+        names = [n for n, _ in chaos_scenarios()]
+        assert names[0] == "baseline"
+        assert len(names) == len(set(names))
+
+    def test_quick_is_a_subset(self):
+        full = dict(chaos_scenarios())
+        quick = chaos_scenarios(quick=True)
+        assert 1 < len(quick) < len(full)
+        assert all((s is None and full[n] is None)
+                   or full[n].clauses == s.clauses for n, s in quick)
+        assert quick[0][0] == "baseline"
+
+    def test_all_schedules_validate(self):
+        for name, sched in chaos_scenarios():
+            assert sched is None or isinstance(sched, FaultSchedule)
+
+
+class TestChaosPoint:
+    def test_same_args_identical(self):
+        sched = FaultSchedule([GilbertElliott(loss_good=0.05)])
+        a = chaos_point(CHAOS_BYTES, 6, sched, CHAOS_SEED)
+        b = chaos_point(CHAOS_BYTES, 6, sched, CHAOS_SEED)
+        assert a == b
+        assert a["intact"] and a["fault_drops"] > 0
+
+    def test_baseline_point_fault_free(self):
+        rec = chaos_point(CHAOS_BYTES, 4, None, CHAOS_SEED)
+        assert rec["retransmissions"] == 0
+        assert rec["fault_drops"] == 0 and rec["crc_drops"] == 0
+        assert rec["intact"]
+
+
+class TestRunChaos:
+    def test_quick_sweep_passes_all_checks(self):
+        result = run_chaos(quick=True)
+        assert result.all_passed, result.render()
+        assert len(result.rows) == len(chaos_scenarios(quick=True))
+        assert set(result.payload) == {n for n, _
+                                       in chaos_scenarios(quick=True)}
+
+    def test_parallel_matches_serial(self, restore_engine):
+        serial = sweep(chaos_jobs(quick=True))
+        parallel.configure(jobs=2)
+        pooled = sweep(chaos_jobs(quick=True))
+        assert pooled == serial

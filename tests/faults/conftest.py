@@ -1,0 +1,45 @@
+"""Shared helpers for fault-injection tests."""
+
+from repro.machine import Cluster
+from repro.machine.config import SP_1998
+
+
+def run_put_workload(faults, *, seed=11, msgs=6, nbytes=1024,
+                     config=SP_1998, nnodes=2):
+    """Rank 0 streams completion-waited puts to rank 1 under ``faults``.
+
+    Returns ``(cluster, records)`` where ``records`` carries the
+    sender's post-fence transport counters and the receiver's
+    byte-for-byte integrity verdict.
+    """
+    payload = bytes(i % 251 for i in range(nbytes))
+    records: dict = {}
+
+    def main(task):
+        lapi = task.lapi
+        mem = task.memory
+        buf = mem.malloc(nbytes)
+        yield from lapi.gfence()
+        if task.rank == 0:
+            src = mem.malloc(nbytes)
+            mem.write(src, payload)
+            cmpl = lapi.counter()
+            for _ in range(msgs):
+                yield from lapi.put(1, nbytes, buf, src, cmpl_cntr=cmpl)
+                yield from lapi.waitcntr(cmpl, 1)
+        yield from lapi.gfence()
+        if task.rank == 0:
+            tr = lapi.transport
+            records["retransmissions"] = tr.retransmissions
+            records["karn_skips"] = tr.karn_skips
+            records["degraded_events"] = tr.peer_degraded_events
+            records["rto"] = tr.peer_rto(1)
+            records["health"] = tr.peer_health(1)
+        if task.rank == 1:
+            records["intact"] = mem.read(buf, nbytes) == payload
+
+    cluster = Cluster(nnodes=nnodes, config=config, seed=seed,
+                      faults=faults)
+    cluster.run_job(main, stacks=("lapi",), interrupt_mode=False,
+                    until=5_000_000.0)
+    return cluster, records

@@ -1,0 +1,139 @@
+"""Runtime fault injection: drops, corruption, CPU windows, determinism."""
+
+import pytest
+
+from repro.faults import (AckLoss, Corruption, CpuPause, FaultSchedule,
+                          GilbertElliott, LinkOutage)
+from repro.faults.runtime import _CpuFaults
+from repro.machine import Cluster
+from repro.machine.packet import Packet
+
+from .conftest import run_put_workload
+
+
+class TestFabricInjection:
+    def test_ge_loss_drops_and_recovers(self):
+        cluster, rec = run_put_workload(
+            FaultSchedule([GilbertElliott(loss_good=0.15)]))
+        assert cluster.faults.ge_drops > 0
+        assert rec["retransmissions"] > 0
+        assert rec["intact"]
+
+    def test_bursty_loss_drops_and_recovers(self):
+        cluster, rec = run_put_workload(
+            FaultSchedule([GilbertElliott(p_good_bad=0.05,
+                                          p_bad_good=0.25,
+                                          loss_bad=0.8)]),
+            msgs=10)
+        assert cluster.faults.ge_drops > 0
+        assert rec["intact"]
+
+    def test_outage_drops_and_recovers(self):
+        cluster, rec = run_put_workload(
+            FaultSchedule([LinkOutage(src=0, dst=1, start=200.0,
+                                      end=900.0)]))
+        assert cluster.faults.outage_drops > 0
+        assert rec["retransmissions"] > 0
+        assert rec["intact"]
+
+    def test_outage_judge_respects_window(self):
+        """The outage verdict is a pure function of the window (no RNG)."""
+        sched = FaultSchedule([LinkOutage(src=0, dst=1, start=200.0,
+                                          end=900.0)])
+        rt = Cluster(nnodes=2, faults=sched).faults
+        pkt = Packet(src=0, dst=1, proto="x", kind="data",
+                     header_bytes=8)
+        assert rt.judge(pkt, 100.0) is None
+        assert rt.judge(pkt, 200.0) == "outage"
+        assert rt.judge(pkt, 899.0) == "outage"
+        assert rt.judge(pkt, 900.0) is None
+        # The reverse direction is unaffected.
+        rev = Packet(src=1, dst=0, proto="x", kind="data",
+                     header_bytes=8)
+        assert rt.judge(rev, 500.0) is None
+
+    def test_ack_loss_exercises_karn(self):
+        cluster, rec = run_put_workload(
+            FaultSchedule([AckLoss(src=1, dst=0, rate=0.5)]), msgs=10)
+        assert cluster.faults.ack_drops > 0
+        assert rec["retransmissions"] > 0
+        assert rec["karn_skips"] > 0
+        assert rec["intact"]
+
+    def test_ack_loss_ignores_data_packets(self):
+        sched = FaultSchedule([AckLoss(src=1, dst=0, rate=0.999)])
+        rt = Cluster(nnodes=2, faults=sched).faults
+        data = Packet(src=1, dst=0, proto="x", kind="data",
+                      header_bytes=8)
+        assert all(rt.judge(data, 0.0) is None for _ in range(50))
+
+    def test_corruption_dies_at_rx_crc(self):
+        cluster, rec = run_put_workload(
+            FaultSchedule([Corruption(rate=0.2)]), msgs=8)
+        assert cluster.faults.crc_drops > 0
+        # Corrupt packets traverse the wire and are discarded by the
+        # *receiving* adapter, not the fabric.
+        rx_dropped = sum(n.adapter.rx_crc_dropped
+                         for n in cluster.nodes)
+        assert rx_dropped == cluster.faults.crc_drops
+        assert rec["retransmissions"] > 0
+        assert rec["intact"]
+
+
+class TestCpuWindows:
+    def test_pause_stretches_virtual_time(self):
+        base, rec0 = run_put_workload(None)
+        paused, rec1 = run_put_workload(
+            FaultSchedule([CpuPause(node=1, start=100.0,
+                                    end=1500.0)]))
+        assert rec0["intact"] and rec1["intact"]
+        assert paused.sim.now > base.sim.now
+        assert paused.faults.metrics()["cpu_stall_us"] > 0.0
+
+    def test_elapsed_full_pause_window(self):
+        cf = _CpuFaults([(100.0, 200.0, 0.0)])
+        assert cf.elapsed(0.0, 50.0) == 50.0          # before window
+        assert cf.elapsed(300.0, 50.0) == 50.0        # after window
+        # 100us of work, then paused to 200, then the remaining 50.
+        assert cf.elapsed(0.0, 150.0) == 250.0
+        # Starting inside the pause skips to its end first.
+        assert cf.elapsed(150.0, 30.0) == 80.0
+        assert cf.stall_us == pytest.approx(150.0)
+
+    def test_elapsed_slowdown_window(self):
+        cf = _CpuFaults([(100.0, 200.0, 0.5)])
+        # Entirely inside at half speed: work takes twice as long.
+        assert cf.elapsed(100.0, 40.0) == pytest.approx(80.0)
+        # 50us achievable inside, the remaining 10 at full speed after.
+        assert cf.elapsed(100.0, 60.0) == pytest.approx(110.0)
+
+    def test_elapsed_walks_multiple_windows(self):
+        cf = _CpuFaults([(10.0, 20.0, 0.0), (30.0, 40.0, 0.5)])
+        # 10 full-speed, pause to 20, 10 full-speed, 5 at half speed.
+        assert cf.elapsed(0.0, 25.0) == pytest.approx(40.0)
+
+
+class TestDeterminism:
+    SCHED = [GilbertElliott(p_good_bad=0.05, p_bad_good=0.3,
+                            loss_good=0.02, loss_bad=0.6),
+             Corruption(rate=0.05, start=500.0, end=2000.0)]
+
+    def test_same_seed_byte_identical(self):
+        a, _ = run_put_workload(FaultSchedule(self.SCHED), seed=42)
+        b, _ = run_put_workload(FaultSchedule(self.SCHED), seed=42)
+        assert a.sim.now == b.sim.now
+        assert a.sim.events_processed == b.sim.events_processed
+        assert a.metrics.render() == b.metrics.render()
+
+    def test_different_seed_diverges(self):
+        a, _ = run_put_workload(FaultSchedule(self.SCHED), seed=42)
+        b, _ = run_put_workload(FaultSchedule(self.SCHED), seed=43)
+        assert a.metrics.render() != b.metrics.render()
+
+    def test_empty_schedule_identical_to_none(self):
+        a, _ = run_put_workload(None, seed=7)
+        b, _ = run_put_workload(FaultSchedule([]), seed=7)
+        assert b.faults is None
+        assert a.sim.now == b.sim.now
+        assert a.sim.events_processed == b.sim.events_processed
+        assert a.metrics.render() == b.metrics.render()

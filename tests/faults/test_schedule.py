@@ -1,0 +1,150 @@
+"""FaultSchedule construction-time validation and install semantics."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.errors import MachineError
+from repro.faults import (AckLoss, Corruption, CpuDegrade, CpuPause,
+                          FaultSchedule, FaultRuntime, GilbertElliott,
+                          LinkOutage)
+from repro.machine import Cluster
+
+
+class TestClauseValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"p_good_bad": -0.1, "loss_bad": 0.5},
+        {"p_good_bad": 1.5, "loss_bad": 0.5},
+        {"p_bad_good": float("nan"), "loss_bad": 0.5},
+        {"loss_good": -0.01},
+        {"loss_good": 1.0},          # silences the link forever
+        {"loss_bad": 1.0, "p_good_bad": 0.1},
+        {},                          # both loss rates zero: never fires
+    ])
+    def test_gilbert_elliott_rejects(self, kwargs):
+        with pytest.raises(MachineError):
+            FaultSchedule([GilbertElliott(**kwargs)])
+
+    def test_gilbert_elliott_accepts_uniform_degenerate(self):
+        FaultSchedule([GilbertElliott(loss_good=0.05)])
+
+    @pytest.mark.parametrize("kwargs", [
+        {},                                   # default end=inf
+        {"start": -1.0, "end": 5.0},
+        {"start": 5.0, "end": 5.0},           # empty window
+        {"start": 9.0, "end": 5.0},           # inverted window
+        {"start": float("nan"), "end": 5.0},
+        {"start": 0.0, "end": float("nan")},
+    ])
+    def test_link_outage_rejects(self, kwargs):
+        with pytest.raises(MachineError):
+            FaultSchedule([LinkOutage(src=0, dst=1, **kwargs)])
+
+    @pytest.mark.parametrize("rate", [0.0, 1.0, 1.5, -0.2])
+    def test_ack_loss_rejects(self, rate):
+        with pytest.raises(MachineError):
+            FaultSchedule([AckLoss(rate=rate)])
+
+    @pytest.mark.parametrize("rate", [0.0, 1.0, -0.5])
+    def test_corruption_rejects(self, rate):
+        with pytest.raises(MachineError):
+            FaultSchedule([Corruption(rate=rate)])
+
+    @pytest.mark.parametrize("clause", [
+        CpuPause(node=0),                          # infinite window
+        CpuPause(node=-1, start=0.0, end=5.0),
+        CpuDegrade(node=0, start=0.0, end=5.0, factor=1.0),
+        CpuDegrade(node=0, start=0.0, end=5.0, factor=0.5),
+        CpuDegrade(node=0, start=0.0, end=5.0, factor=math.inf),
+    ])
+    def test_cpu_clause_rejects(self, clause):
+        with pytest.raises(MachineError):
+            FaultSchedule([clause])
+
+    def test_non_clause_rejected(self):
+        with pytest.raises(MachineError):
+            FaultSchedule(["not a clause"])
+
+
+class TestOverlapRejection:
+    def test_same_pair_outages_overlapping(self):
+        with pytest.raises(MachineError, match="overlapping"):
+            FaultSchedule([
+                LinkOutage(src=0, dst=1, start=0.0, end=100.0),
+                LinkOutage(src=0, dst=1, start=50.0, end=150.0)])
+
+    def test_adjacent_outages_allowed(self):
+        FaultSchedule([
+            LinkOutage(src=0, dst=1, start=0.0, end=100.0),
+            LinkOutage(src=0, dst=1, start=100.0, end=200.0)])
+
+    def test_different_pairs_may_overlap(self):
+        FaultSchedule([
+            LinkOutage(src=0, dst=1, start=0.0, end=100.0),
+            LinkOutage(src=1, dst=0, start=50.0, end=150.0)])
+
+    def test_same_node_cpu_windows_overlapping(self):
+        # Pause and slowdown are one family: both claim the node's CPU.
+        with pytest.raises(MachineError, match="overlapping"):
+            FaultSchedule([
+                CpuPause(node=0, start=0.0, end=100.0),
+                CpuDegrade(node=0, start=50.0, end=150.0, factor=2.0)])
+
+    def test_different_node_cpu_windows_may_overlap(self):
+        FaultSchedule([
+            CpuPause(node=0, start=0.0, end=100.0),
+            CpuPause(node=1, start=50.0, end=150.0)])
+
+
+class TestScheduleObject:
+    def test_empty_schedule_is_falsy_and_installs_nothing(self):
+        sched = FaultSchedule()
+        assert len(sched) == 0 and not sched
+        cluster = Cluster(nnodes=2, faults=sched)
+        assert cluster.faults is None
+        assert cluster.switch.faults is None
+
+    def test_schedule_pickles(self):
+        sched = FaultSchedule([
+            GilbertElliott(loss_good=0.1),
+            LinkOutage(src=0, dst=1, start=1.0, end=2.0),
+            CpuPause(node=0, start=0.0, end=9.0)])
+        clone = pickle.loads(pickle.dumps(sched))
+        assert clone.clauses == sched.clauses
+
+
+class TestInstall:
+    def test_link_clause_node_outside_cluster(self):
+        sched = FaultSchedule([
+            LinkOutage(src=0, dst=5, start=0.0, end=10.0)])
+        with pytest.raises(MachineError, match="outside cluster"):
+            Cluster(nnodes=2, faults=sched)
+
+    def test_cpu_clause_node_outside_cluster(self):
+        sched = FaultSchedule([CpuPause(node=7, start=0.0, end=10.0)])
+        with pytest.raises(MachineError, match="outside cluster"):
+            Cluster(nnodes=2, faults=sched)
+
+    def test_install_hooks_machine_layer(self):
+        sched = FaultSchedule([
+            GilbertElliott(loss_good=0.05),
+            CpuPause(node=1, start=0.0, end=10.0)])
+        cluster = Cluster(nnodes=3, faults=sched)
+        rt = cluster.faults
+        assert isinstance(rt, FaultRuntime)
+        assert cluster.switch.faults is rt
+        assert all(n.adapter.faults is rt for n in cluster.nodes)
+        # CPU windows attach only to the nodes a clause names.
+        assert cluster.nodes[1].cpu.faults is not None
+        assert cluster.nodes[0].cpu.faults is None
+        assert cluster.nodes[2].cpu.faults is None
+        assert "faults" in cluster.metrics.render()
+
+    def test_no_schedule_leaves_hooks_unset(self):
+        cluster = Cluster(nnodes=2)
+        assert cluster.faults is None
+        assert cluster.switch.faults is None
+        assert all(n.adapter.faults is None for n in cluster.nodes)
+        assert all(n.cpu.faults is None for n in cluster.nodes)
+        assert "faults" not in cluster.metrics.render()

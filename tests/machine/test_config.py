@@ -62,6 +62,18 @@ class TestReplaceAndValidate:
         {"switch_group_size": 0},
         {"switch_mid_count": 0},
         {"mpl_eager_limit": 1 << 20},
+        {"lapi_retrans_timeout": 0.0},
+        {"lapi_retrans_timeout": float("inf")},
+        {"mpl_retrans_timeout": -5.0},
+        {"mpl_retrans_timeout": float("nan")},
+        {"lapi_window": 0},
+        {"mpl_window": -1},
+        {"rto_min": 0.0},
+        {"rto_min": 500.0, "rto_max": 100.0},
+        {"rto_max": float("inf")},
+        {"rto_backoff": 0.5},
+        {"rto_backoff": float("inf")},
+        {"peer_degraded_after": 0},
     ])
     def test_validate_rejects_nonsense(self, changes):
         with pytest.raises(ValueError):
