@@ -23,6 +23,7 @@ from .parallel import (JobSpec, SweepExecutor, configure, get_executor,
 from .ga_putget import run_fig3, run_fig4, run_ga_latency
 from .latency import run_pipeline_latency, run_table2
 from .report import ExperimentResult, ShapeCheck
+from .scale import run_scale
 from .table1 import run_table1
 
 #: Every experiment, in paper order (name -> runner).
@@ -54,6 +55,7 @@ __all__ = [
     "run_fig4",
     "run_ga_latency",
     "run_pipeline_latency",
+    "run_scale",
     "run_table1",
     "run_table2",
 ]

@@ -51,6 +51,20 @@ Performance flags (see ``docs/performance.md``):
     Reduced message-size sweeps for fig2/fig3/fig4 -- the CI smoke
     configuration.
 
+Scale sweep (see ``docs/performance.md``):
+
+``--scale``
+    Add the 512-4096-node scale bench to the run: the ring + gfence
+    workload on the SP multistage, fat-tree, and dragonfly fabrics,
+    measuring simulator wall time, kernel events, events/second, and
+    resident memory per point.  ``--perf-quick`` reduces the sweep to
+    512 nodes (the CI scale-smoke configuration); ``--jobs N`` shards
+    the points with byte-identical virtual-time results.
+``--scale-out FILE``
+    Write the raw per-point scale records as sorted JSON (default
+    ``BENCH_SCALE.json``; CI diffs the deterministic fields between
+    serial and ``--jobs N`` runs).  Implies ``--scale``.
+
 Fault injection (see ``docs/reliability.md``):
 
 ``--faults``
@@ -72,7 +86,8 @@ import json
 import sys
 import time
 
-from . import ALL_EXPERIMENTS, run_chaos, run_fig2, run_fig3, run_fig4
+from . import (ALL_EXPERIMENTS, run_chaos, run_fig2, run_fig3, run_fig4,
+               run_scale)
 from . import parallel, runner
 from .bandwidth import lapi_bandwidth_point
 from ..obs import (render_critical_path, render_decomposition,
@@ -136,6 +151,15 @@ def main(argv: list[str]) -> int:
                         help="perf report path (default: BENCH_PERF.json)")
     parser.add_argument("--perf-quick", action="store_true",
                         help="reduced fig2/fig3/fig4 sweeps (CI smoke)")
+    parser.add_argument("--scale", action="store_true",
+                        help="run the 512-4096-node scale bench"
+                             " (ring + gfence on sp/fattree/dragonfly"
+                             " fabrics; --perf-quick reduces to 512"
+                             " nodes)")
+    parser.add_argument("--scale-out", metavar="FILE", default=None,
+                        help="write raw scale records as sorted JSON"
+                             " (default BENCH_SCALE.json; implies"
+                             " --scale)")
     parser.add_argument("--faults", action="store_true",
                         help="run the chaos fault-injection bench"
                              " (goodput degradation and recovery under"
@@ -147,9 +171,13 @@ def main(argv: list[str]) -> int:
 
     faults_on = (opts.faults or opts.faults_out is not None
                  or "chaos" in opts.experiments)
+    scale_on = (opts.scale or opts.scale_out is not None
+                or "scale" in opts.experiments)
     known = dict(ALL_EXPERIMENTS)
     if faults_on:
         known["chaos"] = run_chaos
+    if scale_on:
+        known["scale"] = run_scale
     names = opts.experiments or list(known)
     unknown = [n for n in names if n not in known]
     if unknown:
@@ -158,10 +186,14 @@ def main(argv: list[str]) -> int:
         return 2
     if faults_on and "chaos" not in names:
         names.append("chaos")
+    if scale_on and "scale" not in names:
+        names.append("scale")
 
     experiments = dict(known)
     if faults_on:
         experiments["chaos"] = lambda: run_chaos(quick=opts.perf_quick)
+    if scale_on:
+        experiments["scale"] = lambda: run_scale(quick=opts.perf_quick)
     if opts.perf_quick:
         experiments["fig2"] = lambda: run_fig2(sizes=QUICK_SIZES["fig2"])
         experiments["fig3"] = lambda: run_fig3(sizes=QUICK_SIZES["fig3"])
@@ -189,6 +221,7 @@ def main(argv: list[str]) -> int:
     first_trace = True
     perf: dict = {}
     chaos_payload = None
+    scale_payload = None
     span_streams: list[list[dict]] = []
     for name in names:
         start = time.perf_counter()
@@ -196,6 +229,8 @@ def main(argv: list[str]) -> int:
         wall = time.perf_counter() - start
         if name == "chaos":
             chaos_payload = getattr(result, "payload", None)
+        if name == "scale":
+            scale_payload = getattr(result, "payload", None)
         decomposition = None
         if observing:
             captures = runner.drain_captures()
@@ -242,6 +277,20 @@ def main(argv: list[str]) -> int:
         nspans = sum(len(s) for s in span_streams)
         print(f"wrote {nevents} trace events ({nspans} spans,"
               f" {len(span_streams)} clusters) to {opts.spans_out}")
+    if scale_on:
+        # Sorted keys; wall seconds and RSS are host facts and vary,
+        # but every virtual-time field (virtual_us, events, packet
+        # counters) is deterministic -- CI compares those between
+        # serial and --jobs N runs.
+        scale_out = opts.scale_out or "BENCH_SCALE.json"
+        report = {"schema": 1, "quick": opts.perf_quick,
+                  "host": parallel.host_record(opts.jobs),
+                  "points": scale_payload or {}}
+        with open(scale_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(report['points'])} scale records to"
+              f" {scale_out}")
     if opts.faults_out is not None:
         # Sorted keys + fixed float formatting (the records only hold
         # rounded floats) make the file safe to byte-compare between

@@ -111,13 +111,25 @@ def _worker_init(obs_kwargs: dict) -> None:
     runner.configure_observability(**obs_kwargs)
 
 
+def _peak_rss_mb() -> float:
+    """This process's resident-memory high watermark, in MB."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix host
+        return 0.0
+    # ru_maxrss is KiB on Linux (kilobytes per getrusage(2)).
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1e3
+
+
 def _execute(payload: tuple[int, JobSpec]) -> tuple:
     """Run one spec in a worker; ship the result and obs captures.
 
     Both wall and CPU time are measured: CPU time is the honest
     serial-equivalent cost (a worker's wall clock keeps ticking while
     it is descheduled on an oversubscribed host), wall time shows pool
-    occupancy.
+    occupancy.  The worker's peak RSS rides along so the pool report
+    can show the memory cost of sharding (N workers hold N cluster
+    heaps at once -- the number the scale-smoke CI job watches).
     """
     index, spec = payload
     start = time.perf_counter()
@@ -128,7 +140,8 @@ def _execute(payload: tuple[int, JobSpec]) -> tuple:
     captures = [runner.capture_cluster(c)
                 for c in runner.captured_clusters()]
     events = sum(c.events for c in captures)
-    return index, os.getpid(), wall, cpu, events, value, captures
+    return (index, os.getpid(), wall, cpu, events, _peak_rss_mb(),
+            value, captures)
 
 
 # ----------------------------------------------------------------------
@@ -141,6 +154,7 @@ class _WorkerStats:
     busy_s: float = 0.0
     cpu_s: float = 0.0
     events: int = 0
+    peak_rss_mb: float = 0.0
 
 
 @dataclass
@@ -155,12 +169,14 @@ class PoolStats:
     workers: dict[int, _WorkerStats] = field(default_factory=dict)
 
     def note_job(self, pid: int, wall: float, cpu: float,
-                 events: int) -> None:
+                 events: int, peak_rss_mb: float = 0.0) -> None:
         w = self.workers.setdefault(pid, _WorkerStats())
         w.jobs += 1
         w.busy_s += wall
         w.cpu_s += cpu
         w.events += events
+        if peak_rss_mb > w.peak_rss_mb:
+            w.peak_rss_mb = peak_rss_mb
         self.jobs_run += 1
         # CPU time, not worker wall: on an oversubscribed host a
         # worker's wall clock ticks while it is descheduled, which
@@ -185,9 +201,12 @@ class PoolStats:
                 "events": w.events,
                 "events_per_sec": (round(w.events / w.cpu_s)
                                    if w.cpu_s > 0 else 0),
+                "peak_rss_mb": round(w.peak_rss_mb, 1),
             }
         speedup = (self.serial_equivalent_s / self.wall_s
                    if self.wall_s > 0 else 0.0)
+        peak_rss = max((w.peak_rss_mb for w in self.workers.values()),
+                       default=0.0)
         return {
             "jobs": self.jobs,
             "sweeps": self.sweeps,
@@ -197,6 +216,7 @@ class PoolStats:
             "speedup": round(speedup, 2),
             "efficiency": (round(speedup / self.jobs, 3)
                            if self.jobs > 0 else 0.0),
+            "peak_worker_rss_mb": round(peak_rss, 1),
             "workers": workers,
         }
 
@@ -250,13 +270,13 @@ class SweepExecutor:
         start = time.perf_counter()
         values: dict[tuple, Any] = {}
         captures: dict[tuple, list] = {}
-        for index, pid, wall, cpu, events, value, caps in \
+        for index, pid, wall, cpu, events, rss, value, caps in \
                 pool.imap_unordered(_execute, list(enumerate(specs)),
                                     chunksize=1):
             key = keys[index]
             values[key] = value
             captures[key] = caps
-            self.stats.note_job(pid, wall, cpu, events)
+            self.stats.note_job(pid, wall, cpu, events, rss)
         self.stats.note_sweep(time.perf_counter() - start)
         # Deterministic merge: reassemble results *and* observability
         # captures in spec order by key, never completion order.

@@ -16,6 +16,10 @@ Labelled supplemental everywhere: the paper makes no quantitative
 scaling claims, so the checks here validate the *model's* internal
 consistency (log-growth, monotone aggregate bandwidth), not paper
 numbers.
+
+This study measures the *model* at small node counts; its sibling
+:mod:`repro.bench.scale` (``--scale``) measures the *simulator* at
+512-4096 nodes across the sp/fattree/dragonfly fabrics.
 """
 
 from __future__ import annotations

@@ -248,9 +248,11 @@ class Adapter:
         sim = self.sim
         while True:
             packet, took_credit = yield self._tx_queue.get()
-            yield sim.timeout(cfg.adapter_send_dma)
-            yield sim.timeout(packet.size / cfg.link_bandwidth
-                              + cfg.packet_gap)
+            # Bare-float yields: pooled kernel sleeps, no Timeout
+            # allocation per packet, identical timing.
+            yield cfg.adapter_send_dma
+            yield (packet.size / cfg.link_bandwidth
+                   + cfg.packet_gap)
             self._tx_complete(packet, took_credit)
             interior = self._peel_train(packet)
             if interior:

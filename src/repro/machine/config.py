@@ -71,6 +71,36 @@ class MachineConfig:
     adapter_recv_dma: float = 0.8
     #: Extra per-packet gap on the wire (framing, CRC, flow control).
     packet_gap: float = 0.15
+    # ------------------------------------------------------------------
+    # Fabric topology (the ``--scale`` bench; "sp" is the paper machine)
+    # ------------------------------------------------------------------
+    #: Fabric shape: ``"sp"`` (the paper's multistage switch),
+    #: ``"fattree"`` (three-tier leaf/agg/core), or ``"dragonfly"``
+    #: (router groups with global links).  See
+    #: :mod:`repro.machine.routing`.
+    topology: str = "sp"
+    #: Fat tree: nodes per leaf switch.
+    fattree_leaf_size: int = 16
+    #: Fat tree: leaf switches per pod.
+    fattree_pod_leaves: int = 8
+    #: Fat tree: aggregation switches per pod (intra-pod multipath).
+    fattree_agg_count: int = 8
+    #: Fat tree: core switches (cross-pod multipath width).
+    fattree_core_count: int = 16
+    #: Dragonfly: nodes per router.
+    dragonfly_router_nodes: int = 4
+    #: Dragonfly: routers per group (all-to-all local links).
+    dragonfly_group_routers: int = 8
+    #: Dragonfly: extra flight time of a global (inter-group) link,
+    #: on top of the per-hop latency -- global links are physically
+    #: long.
+    dragonfly_global_latency: float = 0.5
+    #: Bound on the switch's per-pair route cache, in (src, dst)
+    #: entries; ``None`` (default) caches every pair ever routed, the
+    #: historical behaviour.  Large clusters set a bound so cache
+    #: memory stays O(bound) instead of O(nodes^2) under all-to-all
+    #: traffic; eviction is oldest-entry-first.
+    route_cache_entries: Optional[int] = None
     #: Simulator (not machine) switch: let the adapter TX engine
     #: serialize the interior of a contiguous multi-packet train
     #: analytically -- one precomputed schedule instead of generator
@@ -283,6 +313,22 @@ class MachineConfig:
             raise ValueError("bandwidths must be positive")
         if self.switch_group_size < 1 or self.switch_mid_count < 1:
             raise ValueError("switch topology parameters must be >= 1")
+        from .routing import TOPOLOGIES
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; choose from"
+                f" {TOPOLOGIES}")
+        for name in ("fattree_leaf_size", "fattree_pod_leaves",
+                     "fattree_agg_count", "fattree_core_count",
+                     "dragonfly_router_nodes",
+                     "dragonfly_group_routers"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.dragonfly_global_latency < 0:
+            raise ValueError("dragonfly_global_latency must be >= 0")
+        if (self.route_cache_entries is not None
+                and self.route_cache_entries < 1):
+            raise ValueError("route_cache_entries must be None or >= 1")
         if self.mpl_eager_limit > self.mpl_eager_limit_max:
             raise ValueError("eager limit exceeds its maximum")
         for name in ("lapi_retrans_timeout", "mpl_retrans_timeout"):

@@ -106,12 +106,13 @@ class Thread:
         if not self._holding:
             yield from self._acquire()
         if cost > 0:
+            # Bare-float yields take the kernel's pooled sleep path --
+            # no Timeout allocation per CPU burst, identical timing.
             faults = self.cpu.faults
             if faults is not None:
-                yield self.sim.timeout(
-                    faults.elapsed(self.sim.now, cost))
+                yield faults.elapsed(self.sim.now, cost)
             else:
-                yield self.sim.timeout(cost)
+                yield cost
             self.cpu_time += cost
 
     def compute(self, cost: float, quantum: float = 50.0) -> Generator:
@@ -144,8 +145,8 @@ class Thread:
         """Release and immediately re-queue for the CPU (scheduling point)."""
         if self._holding:
             self._release()
-        # A zero timeout lets same-time higher-priority acquirers slot in.
-        yield self.sim.timeout(0.0)
+        # A zero sleep lets same-time higher-priority acquirers slot in.
+        yield 0.0
         yield from self._acquire()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

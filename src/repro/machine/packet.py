@@ -65,11 +65,13 @@ class Packet:
     info: dict[str, Any] = field(default_factory=dict)
     #: Unique id for tracing/debugging; not part of the wire format.
     uid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Total bytes on the wire.  Precomputed: ``header_bytes`` and
+    #: ``payload`` are fixed at construction, and ``size`` is read for
+    #: every serialization/occupancy charge on the TX and route paths.
+    size: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def size(self) -> int:
-        """Total bytes on the wire."""
-        return self.header_bytes + len(self.payload)
+    def __post_init__(self) -> None:
+        self.size = self.header_bytes + len(self.payload)
 
     def validate(self, max_size: int) -> None:
         """Check wire-format invariants against the machine config."""

@@ -16,19 +16,35 @@ edge switch (single path, therefore in-order); traffic between groups
 picks one of ``mid_count`` disjoint routes per packet, which is what
 makes concurrent multi-packet messages arrive out of order -- the
 property LAPI's two-part handlers exist to tolerate (section 2.1).
+
+Beyond the paper's machine, two further fabrics let the ``--scale``
+bench push the same protocol stacks to 512-4096 nodes on network
+shapes a larger SP successor might have used:
+
+* :class:`FatTreeTopology` -- a three-tier leaf/aggregation/core fat
+  tree with ECMP-style multipath at both the pod and core stages;
+* :class:`DragonflyTopology` -- groups of routers, all-to-all local
+  links inside a group and one global link per ordered group pair,
+  minimally routed.
+
+All topologies share one duck-typed surface -- ``routes(src, dst,
+config)``, ``iter_links()``, ``nnodes`` -- which is everything
+:class:`repro.machine.switch.Switch` touches; :func:`build_topology`
+dispatches on ``MachineConfig.topology``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import NetworkError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .config import MachineConfig
 
-__all__ = ["SerialResource", "Route", "Topology"]
+__all__ = ["SerialResource", "Route", "Topology", "FatTreeTopology",
+           "DragonflyTopology", "build_topology", "TOPOLOGIES"]
 
 
 class SerialResource:
@@ -134,6 +150,20 @@ class Topology:
     def ngroups(self) -> int:
         return len(self.edge_to_mid)
 
+    def iter_links(self):
+        """Yield every link once, in a fixed deterministic order.
+
+        The order (injection/delivery links first, then the core
+        matrices) matches the historical ``Switch.link_utilization``
+        walk, so utilization snapshots keep their tie-break order.
+        """
+        yield from self.up
+        yield from self.down
+        for row in self.edge_to_mid:
+            yield from row
+        for row in self.mid_to_edge:
+            yield from row
+
     def group_of(self, node: int) -> int:
         """Edge switch a node attaches to."""
         if not (0 <= node < self.nnodes):
@@ -165,3 +195,279 @@ class Topology:
                 fixed_latency=wire2 + 3 * config.hop_latency,
                 crosses_core=True))
         return routes
+
+
+def _check_pair(nnodes: int, src: int, dst: int) -> None:
+    """Shared endpoint validation for route construction."""
+    if src == dst:
+        raise NetworkError("no route from a node to itself")
+    if not (0 <= src < nnodes and 0 <= dst < nnodes):
+        raise NetworkError(
+            f"route endpoints ({src}, {dst}) outside {nnodes} nodes")
+
+
+@dataclass
+class FatTreeTopology:
+    """Three-tier fat tree: leaf / aggregation / core.
+
+    Nodes attach in runs of ``fattree_leaf_size`` to *leaf* switches;
+    ``fattree_pod_leaves`` leaves form a *pod* served by
+    ``fattree_agg_count`` aggregation switches; every aggregation
+    switch of every pod connects to all ``fattree_core_count`` core
+    switches.
+
+    Routing is ECMP-style multipath:
+
+    * same leaf -- single route through the leaf switch (in-order);
+    * same pod -- one candidate per aggregation switch;
+    * cross pod -- one candidate per core switch, the aggregation
+      switch on both sides derived from the core index (``core %
+      agg_count``), so candidates are disjoint in the core stage.
+
+    Link counts grow linearly with nodes (per-node injection/delivery
+    links) plus small per-pod and per-core matrices -- the flat-memory
+    property the 4096-node ``--scale`` runs rely on.
+    """
+
+    nnodes: int
+    leaf_size: int
+    pod_leaves: int
+    agg_count: int
+    core_count: int
+    up: list[SerialResource] = field(default_factory=list)
+    down: list[SerialResource] = field(default_factory=list)
+    #: ``[leaf][agg]`` links between a leaf and its pod's aggregation
+    #: switches (leaf index is global; agg index is pod-local).
+    leaf_up: list[list[SerialResource]] = field(default_factory=list)
+    leaf_down: list[list[SerialResource]] = field(default_factory=list)
+    #: ``[pod][agg][core]`` matrices for the core stage.
+    agg_up: list[list[list[SerialResource]]] = field(default_factory=list)
+    agg_down: list[list[list[SerialResource]]] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, nnodes: int,
+              config: "MachineConfig") -> "FatTreeTopology":
+        if nnodes < 1:
+            raise NetworkError("topology needs at least one node")
+        topo = cls(nnodes=nnodes, leaf_size=config.fattree_leaf_size,
+                   pod_leaves=config.fattree_pod_leaves,
+                   agg_count=config.fattree_agg_count,
+                   core_count=config.fattree_core_count)
+        nleaves = (nnodes + topo.leaf_size - 1) // topo.leaf_size
+        npods = (nleaves + topo.pod_leaves - 1) // topo.pod_leaves
+        for n in range(nnodes):
+            topo.up.append(SerialResource(f"up{n}"))
+            topo.down.append(SerialResource(f"down{n}"))
+        for lf in range(nleaves):
+            topo.leaf_up.append(
+                [SerialResource(f"l{lf}a{a}")
+                 for a in range(topo.agg_count)])
+            topo.leaf_down.append(
+                [SerialResource(f"a{a}l{lf}")
+                 for a in range(topo.agg_count)])
+        for p in range(npods):
+            topo.agg_up.append(
+                [[SerialResource(f"p{p}a{a}c{c}")
+                  for c in range(topo.core_count)]
+                 for a in range(topo.agg_count)])
+            topo.agg_down.append(
+                [[SerialResource(f"c{c}p{p}a{a}")
+                  for c in range(topo.core_count)]
+                 for a in range(topo.agg_count)])
+        return topo
+
+    @property
+    def nleaves(self) -> int:
+        return len(self.leaf_up)
+
+    @property
+    def npods(self) -> int:
+        return len(self.agg_up)
+
+    def leaf_of(self, node: int) -> int:
+        if not (0 <= node < self.nnodes):
+            raise NetworkError(f"node {node} outside topology")
+        return node // self.leaf_size
+
+    def pod_of(self, leaf: int) -> int:
+        return leaf // self.pod_leaves
+
+    def routes(self, src: int, dst: int,
+               config: "MachineConfig") -> list[Route]:
+        """Candidate routes (see the class docstring for the shapes)."""
+        _check_pair(self.nnodes, src, dst)
+        hop = config.hop_latency
+        wire2 = 2 * config.wire_latency
+        ls, ld = self.leaf_of(src), self.leaf_of(dst)
+        if ls == ld:
+            return [Route(links=(self.up[src], self.down[dst]),
+                          fixed_latency=wire2 + hop,
+                          crosses_core=False)]
+        ps, pd = self.pod_of(ls), self.pod_of(ld)
+        if ps == pd:
+            return [Route(links=(self.up[src], self.leaf_up[ls][a],
+                                 self.leaf_down[ld][a], self.down[dst]),
+                          fixed_latency=wire2 + 3 * hop,
+                          crosses_core=False)
+                    for a in range(self.agg_count)]
+        routes = []
+        for c in range(self.core_count):
+            a = c % self.agg_count
+            links = (self.up[src], self.leaf_up[ls][a],
+                     self.agg_up[ps][a][c], self.agg_down[pd][a][c],
+                     self.leaf_down[ld][a], self.down[dst])
+            routes.append(Route(links=links,
+                                fixed_latency=wire2 + 5 * hop,
+                                crosses_core=True))
+        return routes
+
+    def iter_links(self):
+        """Yield every link once: node links, leaf stage, core stage."""
+        yield from self.up
+        yield from self.down
+        for row in self.leaf_up:
+            yield from row
+        for row in self.leaf_down:
+            yield from row
+        for pod in self.agg_up:
+            for row in pod:
+                yield from row
+        for pod in self.agg_down:
+            for row in pod:
+                yield from row
+
+
+@dataclass
+class DragonflyTopology:
+    """Dragonfly: router groups with all-to-all local and global links.
+
+    ``dragonfly_router_nodes`` nodes attach to each router;
+    ``dragonfly_group_routers`` routers form a group with a directed
+    local link between every ordered router pair; every ordered group
+    pair is joined by one directed global link, terminating at a
+    deterministic gateway router on each side (``other_group %
+    routers_per_group``).
+
+    Routing is minimal and single-path (the canonical dragonfly
+    minimal route): up to the router, at most one local hop to the
+    gateway, the global link, at most one local hop to the destination
+    router, down.  Cross-group routes carry ``crosses_core=True`` (the
+    global link is the long, jitter-eligible stage); in-order delivery
+    within a group mirrors the SP's same-group behaviour.
+    """
+
+    nnodes: int
+    router_nodes: int
+    group_routers: int
+    up: list[SerialResource] = field(default_factory=list)
+    down: list[SerialResource] = field(default_factory=list)
+    #: ``local[g][i][j]`` -- directed link router ``i`` -> ``j`` (both
+    #: group-local indices) inside group ``g``; ``None`` on the
+    #: diagonal.
+    local: list[list[list[Optional[SerialResource]]]] = field(
+        default_factory=list)
+    #: Directed global link per ordered group pair.
+    global_links: dict[tuple[int, int], SerialResource] = field(
+        default_factory=dict)
+
+    @classmethod
+    def build(cls, nnodes: int,
+              config: "MachineConfig") -> "DragonflyTopology":
+        if nnodes < 1:
+            raise NetworkError("topology needs at least one node")
+        topo = cls(nnodes=nnodes,
+                   router_nodes=config.dragonfly_router_nodes,
+                   group_routers=config.dragonfly_group_routers)
+        nrouters = (nnodes + topo.router_nodes - 1) // topo.router_nodes
+        ngroups = (nrouters + topo.group_routers - 1) // topo.group_routers
+        for n in range(nnodes):
+            topo.up.append(SerialResource(f"up{n}"))
+            topo.down.append(SerialResource(f"down{n}"))
+        rpg = topo.group_routers
+        for g in range(ngroups):
+            grid: list[list[Optional[SerialResource]]] = []
+            for i in range(rpg):
+                grid.append([None if i == j
+                             else SerialResource(f"g{g}r{i}r{j}")
+                             for j in range(rpg)])
+            topo.local.append(grid)
+        for g1 in range(ngroups):
+            for g2 in range(ngroups):
+                if g1 != g2:
+                    topo.global_links[(g1, g2)] = SerialResource(
+                        f"G{g1}G{g2}")
+        return topo
+
+    @property
+    def ngroups(self) -> int:
+        return len(self.local)
+
+    def router_of(self, node: int) -> int:
+        if not (0 <= node < self.nnodes):
+            raise NetworkError(f"node {node} outside topology")
+        return node // self.router_nodes
+
+    def group_of(self, node: int) -> int:
+        return self.router_of(node) // self.group_routers
+
+    def routes(self, src: int, dst: int,
+               config: "MachineConfig") -> list[Route]:
+        """The single minimal route between ``src`` and ``dst``."""
+        _check_pair(self.nnodes, src, dst)
+        hop = config.hop_latency
+        wire2 = 2 * config.wire_latency
+        rs, rd = self.router_of(src), self.router_of(dst)
+        if rs == rd:
+            return [Route(links=(self.up[src], self.down[dst]),
+                          fixed_latency=wire2 + hop,
+                          crosses_core=False)]
+        rpg = self.group_routers
+        gs, gd = rs // rpg, rd // rpg
+        if gs == gd:
+            links = (self.up[src], self.local[gs][rs % rpg][rd % rpg],
+                     self.down[dst])
+            return [Route(links=links, fixed_latency=wire2 + 2 * hop,
+                          crosses_core=False)]
+        gw_out = gd % rpg   # gateway router in gs toward gd
+        gw_in = gs % rpg    # entry router in gd from gs
+        links: list[SerialResource] = [self.up[src]]
+        if rs % rpg != gw_out:
+            links.append(self.local[gs][rs % rpg][gw_out])
+        links.append(self.global_links[(gs, gd)])
+        if gw_in != rd % rpg:
+            links.append(self.local[gd][gw_in][rd % rpg])
+        links.append(self.down[dst])
+        # One switch traversal per link boundary, plus the global
+        # link's extra flight time.
+        latency = (wire2 + (len(links) - 1) * hop
+                   + config.dragonfly_global_latency)
+        return [Route(links=tuple(links), fixed_latency=latency,
+                      crosses_core=True)]
+
+    def iter_links(self):
+        """Yield every link once: node links, local grids, global."""
+        yield from self.up
+        yield from self.down
+        for grid in self.local:
+            for row in grid:
+                for ln in row:
+                    if ln is not None:
+                        yield ln
+        yield from self.global_links.values()
+
+
+#: Topology names accepted by ``MachineConfig.topology``.
+TOPOLOGIES = ("sp", "fattree", "dragonfly")
+
+
+def build_topology(nnodes: int, config: "MachineConfig"):
+    """Construct the fabric selected by ``config.topology``."""
+    kind = config.topology
+    if kind == "sp":
+        return Topology.build(nnodes, config)
+    if kind == "fattree":
+        return FatTreeTopology.build(nnodes, config)
+    if kind == "dragonfly":
+        return DragonflyTopology.build(nnodes, config)
+    raise NetworkError(
+        f"unknown topology {kind!r}; choose from {TOPOLOGIES}")

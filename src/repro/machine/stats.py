@@ -76,7 +76,9 @@ def snapshot(cluster: "Cluster", top_links: int = 5) -> ClusterStats:
         stats.adapter_sent[node.node_id] = ad.packets_sent
         stats.adapter_received[node.node_id] = ad.packets_received
         stats.adapter_dropped[node.node_id] = ad.rx_dropped
-    util = sw.link_utilization()
-    stats.busiest_links = sorted(util.items(), key=lambda kv: -kv[1])[
-        :top_links]
+    # Streamed top-k (O(top_links) extra space): at --scale node counts
+    # the full utilization dict would dominate the snapshot's cost.
+    # ``busiest_links`` matches the historical full-sort ordering
+    # exactly, ties included.
+    stats.busiest_links = sw.busiest_links(top_links)
     return stats

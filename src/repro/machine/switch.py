@@ -11,8 +11,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from heapq import nlargest
+from operator import itemgetter
+
 from ..errors import NetworkError
-from .routing import Route, Topology
+from .routing import Route, build_topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim import RngRegistry, Simulator, Tracer
@@ -31,7 +34,7 @@ class Switch:
                  trace: Optional["Tracer"] = None) -> None:
         self.sim = sim
         self.config = config
-        self.topology = Topology.build(nnodes, config)
+        self.topology = build_topology(nnodes, config)
         self._adapters: list[Optional["Adapter"]] = [None] * nnodes
         self._route_rng = rng.stream("switch.route")
         self._loss_rng = rng.stream("switch.loss")
@@ -42,8 +45,19 @@ class Switch:
         self.faults = None
         # Config and topology are immutable per run, so candidate routes
         # per (src, dst) pair are computed once; the per-packet path is
-        # a dict hit instead of Route/list construction.
+        # a dict hit instead of Route/list construction.  With
+        # ``route_cache_entries`` set the cache is bounded: the oldest
+        # pair is evicted on overflow (dict preserves insertion order),
+        # capping memory at O(bound) instead of O(nodes^2) under
+        # all-to-all traffic at --scale node counts.
         self._route_cache: dict[tuple[int, int], tuple["Route", ...]] = {}
+        self._route_cache_limit = config.route_cache_entries
+        #: When set, :meth:`metrics` emits only the ``top_links``
+        #: busiest per-link utilization gauges instead of all of them
+        #: (None, the default, keeps the full historical block).  Large
+        #: clusters set this so a metrics snapshot stays O(top_links)
+        #: instead of O(links).
+        self.metrics_top_links: Optional[int] = None
         # Statistics
         self.packets_routed = 0
         self.packets_lost = 0
@@ -61,11 +75,15 @@ class Switch:
 
     def route_candidates(self, src: int, dst: int) -> tuple["Route", ...]:
         """Candidate routes for a node pair, from the lazy cache."""
+        cache = self._route_cache
         key = (src, dst)
-        routes = self._route_cache.get(key)
+        routes = cache.get(key)
         if routes is None:
             routes = tuple(self.topology.routes(src, dst, self.config))
-            self._route_cache[key] = routes
+            limit = self._route_cache_limit
+            if limit is not None and len(cache) >= limit:
+                del cache[next(iter(cache))]
+            cache[key] = routes
         return routes
 
     def route(self, packet: "Packet") -> None:
@@ -76,8 +94,11 @@ class Switch:
         the destination adapter is scheduled at the computed arrival
         time.  Lost packets simply never arrive -- recovering them is the
         reliability layer's job.
+
+        Wire-format validation happens once, at adapter injection
+        (``inject`` / ``inject_async`` / ``inject_control``); the switch
+        trusts what the adapters hand it.
         """
-        packet.validate(self.config.packet_size)
         dst_adapter = self._adapters[packet.dst]
         if dst_adapter is None:
             raise NetworkError(f"packet to unattached node {packet.dst}")
@@ -151,29 +172,48 @@ class Switch:
         """Counter block for the observability registry (collector).
 
         Includes per-link utilization gauges (``util.<link>``), the
-        fabric-level view Figures 2-4 ultimately derive from.
+        fabric-level view Figures 2-4 ultimately derive from.  With
+        :attr:`metrics_top_links` set, only the busiest ``k`` links are
+        emitted (sorted by name within the sample so the block stays
+        deterministic); the default emits every link, byte-identical to
+        the historical output.
         """
         out = {
             "packets_routed": self.packets_routed,
             "packets_lost": self.packets_lost,
             "bytes_routed": self.bytes_routed,
         }
-        for name, util in sorted(self.link_utilization().items()):
-            out[f"util.{name}"] = round(util, 6)
+        k = self.metrics_top_links
+        if k is None:
+            for name, util in sorted(self.link_utilization().items()):
+                out[f"util.{name}"] = round(util, 6)
+        else:
+            for name, util in sorted(self.busiest_links(k)):
+                out[f"util.{name}"] = round(util, 6)
         return out
 
     # ------------------------------------------------------------------
     def link_utilization(self, horizon: Optional[float] = None) -> dict:
         """Utilization snapshot of every link (diagnostics)."""
         h = horizon if horizon is not None else self.sim.now
-        topo = self.topology
-        out = {}
-        for ln in topo.up + topo.down:
-            out[ln.name] = ln.utilization(h)
-        for row in topo.edge_to_mid + topo.mid_to_edge:
-            for ln in row:
-                out[ln.name] = ln.utilization(h)
-        return out
+        return {ln.name: ln.utilization(h)
+                for ln in self.topology.iter_links()}
+
+    def busiest_links(self, k: int,
+                      horizon: Optional[float] = None
+                      ) -> list[tuple[str, float]]:
+        """The ``k`` busiest links as ``(name, utilization)`` pairs.
+
+        Streams over the links (O(links) time, O(k) extra space --
+        never materializes the full utilization dict) and matches a
+        descending stable sort of the full snapshot exactly:
+        ``heapq.nlargest`` keeps earlier-yielded links ahead on ties,
+        as the stable sort does.
+        """
+        h = horizon if horizon is not None else self.sim.now
+        return nlargest(k, ((ln.name, ln.utilization(h))
+                            for ln in self.topology.iter_links()),
+                        key=itemgetter(1))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Switch nodes={len(self._adapters)}"

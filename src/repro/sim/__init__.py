@@ -2,7 +2,8 @@
 
 Public surface:
 
-* :class:`Simulator` -- clock, event heap, process launcher.
+* :class:`Simulator` -- clock, pending-event queue (calendar-queue or
+  heap backend), process launcher.
 * :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf` --
   awaitable occurrences.
 * :class:`Process`, :class:`Interrupt` -- generator-based processes.
@@ -13,9 +14,10 @@ Public surface:
 * :class:`Tracer` -- structured debugging traces.
 """
 
+from .calendar import CalendarQueue
 from .channel import Channel
 from .events import AllOf, AnyOf, ConditionValue, Event, PENDING, Timeout
-from .kernel import Simulator
+from .kernel import SCHEDULERS, Simulator
 from .process import Interrupt, Process, ProcessGen
 from .rng import RngRegistry
 from .sync import Semaphore, SimLock, WaitSet
@@ -24,6 +26,7 @@ from .trace import TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Channel",
     "ConditionValue",
     "Event",
@@ -32,6 +35,7 @@ __all__ = [
     "Process",
     "ProcessGen",
     "RngRegistry",
+    "SCHEDULERS",
     "Semaphore",
     "SimLock",
     "Simulator",

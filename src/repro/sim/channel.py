@@ -97,12 +97,17 @@ class Channel:
         return True
 
     def get(self) -> Event:
-        """Return an event that fires with the next item."""
-        ev = Event(self.sim, name=self._get_name)
+        """Return an event that fires with the next item.
+
+        With items already queued the get completes synchronously (the
+        returned event is already processed and a process yielding it
+        continues inline; see :meth:`repro.sim.events.Event.completed`).
+        """
         if self._items:
-            ev.succeed(self._items.popleft())
-        else:
-            self._getters.append(ev)
+            return Event.completed(self.sim, self._items.popleft(),
+                                   name=self._get_name)
+        ev = Event(self.sim, name=self._get_name)
+        self._getters.append(ev)
         return ev
 
     def cancel_get(self, getter: Event) -> None:

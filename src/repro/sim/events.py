@@ -28,7 +28,8 @@ from ..errors import SimulationError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .kernel import Simulator
 
-__all__ = ["PENDING", "Event", "Timeout", "AnyOf", "AllOf", "ConditionValue"]
+__all__ = ["PENDING", "FLOAT_WAKE", "Event", "Timeout", "AnyOf", "AllOf",
+           "ConditionValue"]
 
 
 class _Pending:
@@ -42,6 +43,29 @@ class _Pending:
 
 #: Singleton sentinel distinguishing "no value yet" from ``None`` values.
 PENDING = _Pending()
+
+
+class _FloatWake:
+    """Singleton trigger fed to a process resuming from a bare-float yield.
+
+    Processes may yield a bare number instead of a :class:`Timeout` to
+    sleep that many microseconds (the kernel's allocation-free sleep
+    path).  This object mimics a successfully-triggered, valueless
+    event: ``Process._resume`` only reads ``_ok`` and ``_value`` from
+    its trigger, both class attributes here, so one immortal instance
+    serves every float sleep in every simulator.
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<float-sleep wake>"
+
+
+#: Shared trigger for all float-yield wakeups (see ``Process._resume``).
+FLOAT_WAKE = _FloatWake()
 
 
 class Event:
@@ -95,6 +119,27 @@ class Event:
     # ------------------------------------------------------------------
     # triggering
     # ------------------------------------------------------------------
+    @classmethod
+    def completed(cls, sim: "Simulator", value: Any = None,
+                  name: str = "") -> "Event":
+        """Create an event that already succeeded *and* processed.
+
+        The synchronous-completion fast path: a primitive whose wait is
+        satisfiable immediately (an uncontended lock, a semaphore with
+        credit, a channel with items queued) returns one of these
+        instead of ``succeed()``-ing a fresh event through the kernel
+        queue.  ``Process._resume`` consumes processed events inline, so
+        the waiter continues in the same kernel step -- no event-queue
+        round trip, no callbacks list.
+        """
+        ev = cls.__new__(cls)
+        ev.sim = sim
+        ev.name = name
+        ev.callbacks = None  # already processed
+        ev._value = value
+        ev._ok = True
+        return ev
+
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value`` as its payload."""
         if self._value is not PENDING:

@@ -1,10 +1,25 @@
 """The discrete-event simulation kernel.
 
-:class:`Simulator` owns the virtual clock and the pending-event heap.  All
-components of the SP machine model -- CPUs, adapters, switch links, the
-LAPI/MPL protocol engines -- are processes scheduled by one simulator
+:class:`Simulator` owns the virtual clock and the pending-event queue.
+All components of the SP machine model -- CPUs, adapters, switch links,
+the LAPI/MPL protocol engines -- are processes scheduled by one simulator
 instance, so a whole multi-node parallel machine runs deterministically
 inside a single Python process.
+
+Schedulers
+----------
+Two pending-queue backends implement the identical ``(when, seq)``
+total order:
+
+* ``"calendar"`` (default) -- the :class:`repro.sim.calendar.CalendarQueue`
+  bucketed scheduler: amortized O(1) insert/extract for the short-horizon
+  timer distributions the machine model generates.
+* ``"heap"`` -- the original binary heap (``heapq``), kept as the golden
+  reference; the scheduler-equivalence tests run whole benchmarks under
+  both backends and require byte-identical observables.
+
+Select per-instance with ``Simulator(scheduler=...)`` or globally with
+the ``REPRO_SIM_SCHEDULER`` environment variable.
 
 Units
 -----
@@ -15,18 +30,34 @@ equals MB/s (1e6 bytes / 1e6 us), the unit the paper plots.
 
 from __future__ import annotations
 
-import heapq
+import os
+from bisect import insort
+from heapq import heappop, heappush
 from typing import Any, Iterable, Optional
 
 from ..errors import DeadlockError, SimulationError
-from .events import AllOf, AnyOf, Event, Timeout
+from .calendar import DEFAULT_BUCKET_WIDTH, CalendarQueue
+from .events import PENDING, AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGen
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "SCHEDULERS"]
+
+#: Recognised pending-queue backends.
+SCHEDULERS = ("calendar", "heap")
+
+#: Environment override for the default backend (tests / CI flip this to
+#: run whole suites against the reference heap).
+_SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
+
+#: Upper bound on the fast-timer freelist; enough to absorb the steady
+#: state of a busy cluster without pinning memory after a burst.
+_TIMER_POOL_CAP = 1024
+
+_INF = float("inf")
 
 
 class _FastTimer:
-    """A heap entry that invokes a bare callback -- no :class:`Event`.
+    """A queue entry that invokes a bare callback -- no :class:`Event`.
 
     The hot paths of the machine model (wire delivery, receive-DMA
     completion, retransmission timers, packet trains) schedule millions
@@ -34,8 +65,10 @@ class _FastTimer:
     :class:`Timeout` pays for an event object, a callbacks list, a
     closure, and a name string each time; a fast timer is just
     ``(fn, arg)``.  Scheduled via :meth:`Simulator.call_at`; fires with
-    the same heap ordering an equally-placed timeout would, so
+    the same queue ordering an equally-placed timeout would, so
     converting a timeout to a fast timer never changes virtual time.
+    Fired timers are recycled through a per-simulator freelist, making
+    the steady-state hot path allocation-free.
     """
 
     __slots__ = ("fn", "arg")
@@ -56,16 +89,38 @@ class Simulator:
     ----------
     trace:
         Optional :class:`repro.sim.trace.Tracer` receiving kernel events.
+    scheduler:
+        Pending-queue backend: ``"calendar"`` (default) or ``"heap"``.
+        ``None`` consults the ``REPRO_SIM_SCHEDULER`` environment
+        variable before falling back to the calendar queue.
+    bucket_width:
+        Calendar-queue day width in virtual microseconds (ignored by the
+        heap backend).
     """
 
-    def __init__(self, trace: Optional[Any] = None) -> None:
+    def __init__(self, trace: Optional[Any] = None, *,
+                 scheduler: Optional[str] = None,
+                 bucket_width: float = DEFAULT_BUCKET_WIDTH) -> None:
+        if scheduler is None:
+            scheduler = os.environ.get(_SCHEDULER_ENV, "calendar")
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; expected one of "
+                f"{SCHEDULERS}")
+        self.scheduler = scheduler
         self._now: float = 0.0
-        #: Pending entries: (when, seq, Event | _FastTimer).
+        #: Calendar backend (None in heap mode).
+        self._cal: Optional[CalendarQueue] = (
+            CalendarQueue(bucket_width) if scheduler == "calendar" else None)
+        #: Heap backend entries: (when, seq, Event | _FastTimer).
+        #: Unused (empty) in calendar mode.
         self._heap: list[tuple[float, int, Any]] = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
         self._live_processes: set[Process] = set()
         self.trace = trace
+        #: Freelist of fired fast timers awaiting reuse.
+        self._timer_pool: list[_FastTimer] = []
         #: Optional ``repro.obs.spans.SpanRecorder`` observing phase
         #: boundaries (attached by the cluster).  Purely observational:
         #: recording reads ``now`` and appends to host-side lists; it
@@ -73,10 +128,13 @@ class Simulator:
         #: perturb virtual time.  Components reach it as ``sim.spans``
         #: and must guard every hook on ``is not None``.  Causal
         #: context rides packet uids / message ids in recorder-side
-        #: tables -- never the heap entries -- so :meth:`call_at` fast
+        #: tables -- never the queue entries -- so :meth:`call_at` fast
         #: timers stay allocation-free with spans on.
         self.spans: Optional[Any] = None
-        #: Count of events processed; useful for tests and runaway guards.
+        #: Cumulative count of events processed over the simulator's
+        #: lifetime; useful for tests and perf accounting.  Budget
+        #: checks (``max_events``) are always *per call*, relative to a
+        #: snapshot of this counter at entry.
         self.events_processed: int = 0
 
     # ------------------------------------------------------------------
@@ -106,10 +164,10 @@ class Simulator:
         """Timeout firing at absolute virtual time ``when``.
 
         Unlike ``timeout(when - now)``, the due time is pinned to the
-        exact float ``when`` -- no ``now + delay`` round trip, which can
-        differ in the last ulp.  Used where a sleeper must wake at a time
-        computed elsewhere (e.g. the TX engine sleeping to the end of an
-        analytically scheduled packet train).
+        exact float ``when`` -- no ``now + delay`` float round trip,
+        which can differ in the last ulp.  Used where a sleeper must
+        wake at a time computed elsewhere (e.g. the TX engine sleeping
+        to the end of an analytically scheduled packet train).
         """
         return Timeout(self, when - self._now, value=value, name=name,
                        at=when)
@@ -127,11 +185,44 @@ class Simulator:
         Use for model-internal delivery/completion/timer callbacks whose
         only job is to advance machine state at a known instant.
         """
-        if when < self._now:
+        now = self._now
+        if when < now:
             raise SimulationError(
-                f"cannot schedule call_at({when}) before now={self._now}")
-        self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, _FastTimer(fn, arg)))
+                f"cannot schedule call_at({when}) before now={now}")
+        pool = self._timer_pool
+        if pool:
+            timer = pool.pop()
+            timer.fn = fn
+            timer.arg = arg
+        else:
+            timer = _FastTimer(fn, arg)
+        # Inlined CalendarQueue.push (see repro.sim.calendar, "hot-path
+        # note"): a method call per scheduled event is measurable.
+        cal = self._cal
+        if cal is not None:
+            cal._len += 1
+            if when == now:
+                nq = cal._nowq
+                if not nq:
+                    cal._now_stamp = now
+                nq.append(timer)
+                return
+            self._seq = seq = self._seq + 1
+            day = int(when * cal._inv_width)
+            buckets = cal._buckets
+            b = buckets.get(day)
+            if b is None:
+                buckets[day] = [(when, seq, timer)]
+                heappush(cal._days, day)
+                if day < cal._active_day:
+                    cal._retire_active()
+            elif day == cal._active_day:
+                insort(b, (when, seq, timer), cal._pos)
+            else:
+                b.append((when, seq, timer))
+        else:
+            self._seq += 1
+            heappush(self._heap, (when, self._seq, timer))
 
     def call_after(self, delay: float, fn, arg: Any = None) -> None:
         """Schedule ``fn(arg)`` after ``delay`` us (see :meth:`call_at`)."""
@@ -146,18 +237,54 @@ class Simulator:
         return AllOf(self, events)
 
     # ------------------------------------------------------------------
-    # scheduling internals (used by Event/Timeout)
+    # scheduling internals (used by Event/Timeout/Process)
     # ------------------------------------------------------------------
     def _schedule_at(self, when: float, ev: Event) -> None:
-        if when < self._now:
+        now = self._now
+        if when < now:
             raise SimulationError(
-                f"cannot schedule event at {when} before now={self._now}")
-        self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, ev))
+                f"cannot schedule event at {when} before now={now}")
+        # Inlined CalendarQueue.push; see call_at.
+        cal = self._cal
+        if cal is not None:
+            cal._len += 1
+            if when == now:
+                nq = cal._nowq
+                if not nq:
+                    cal._now_stamp = now
+                nq.append(ev)
+                return
+            self._seq = seq = self._seq + 1
+            day = int(when * cal._inv_width)
+            buckets = cal._buckets
+            b = buckets.get(day)
+            if b is None:
+                buckets[day] = [(when, seq, ev)]
+                heappush(cal._days, day)
+                if day < cal._active_day:
+                    cal._retire_active()
+            elif day == cal._active_day:
+                insort(b, (when, seq, ev), cal._pos)
+            else:
+                b.append((when, seq, ev))
+        else:
+            self._seq += 1
+            heappush(self._heap, (when, self._seq, ev))
 
     def _enqueue_triggered(self, ev: Event) -> None:
         """Queue an already-triggered event for callback processing."""
-        self._schedule_at(self._now, ev)
+        cal = self._cal
+        if cal is not None:
+            # Triggered events process at the current instant: straight
+            # into the same-instant FIFO lane.
+            cal._len += 1
+            nq = cal._nowq
+            if not nq:
+                cal._now_stamp = self._now
+            nq.append(ev)
+        else:
+            self._seq += 1
+            heappush(self._heap, (self._now, self._seq, ev))
 
     def _register_process(self, proc: Process) -> None:
         self._live_processes.add(proc)
@@ -168,25 +295,80 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _pending(self) -> int:
+        """Number of scheduled entries still in the queue."""
+        cal = self._cal
+        return cal._len if cal is not None else len(self._heap)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        cal = self._cal
+        if cal is not None:
+            return cal.peek_when()
+        return self._heap[0][0] if self._heap else _INF
 
     def step(self) -> None:
         """Process a single event (advancing the clock to it)."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event queue")
-        when, _, ev = heapq.heappop(self._heap)
+        # Inlined CalendarQueue.pop (see repro.sim.calendar, "hot-path
+        # note"); the heap branch is a single C heappop.
+        cal = self._cal
+        if cal is not None:
+            clen = cal._len
+            if not clen:
+                raise SimulationError("step() on an empty event queue")
+            nq = cal._nowq
+            if nq:
+                entry = None
+                if len(nq) != clen:
+                    # Bucketed entries at the same instant were pushed
+                    # earlier (smaller seq); they drain first.
+                    b = cal._active
+                    pos = cal._pos
+                    if b is None or pos >= len(b):
+                        b = cal._seek()
+                        pos = cal._pos
+                    if b is not None:
+                        entry = b[pos]
+                        if entry[0] <= cal._now_stamp:
+                            cal._pos = pos + 1
+                        else:
+                            entry = None
+                cal._len = clen - 1
+                if entry is not None:
+                    when = entry[0]
+                    ev = entry[2]
+                else:
+                    when = cal._now_stamp
+                    ev = nq.popleft()
+            else:
+                b = cal._active
+                pos = cal._pos
+                if b is None or pos >= len(b):
+                    b = cal._seek()
+                    pos = cal._pos
+                cal._pos = pos + 1
+                cal._len = clen - 1
+                entry = b[pos]
+                when = entry[0]
+                ev = entry[2]
+        else:
+            if not self._heap:
+                raise SimulationError("step() on an empty event queue")
+            when, _, ev = heappop(self._heap)
         self._now = when
         if type(ev) is _FastTimer:
             self.events_processed += 1
             if self.trace is not None:
                 self.trace.kernel_event(when, ev)
             ev.fn(ev.arg)
+            pool = self._timer_pool
+            if len(pool) < _TIMER_POOL_CAP:
+                ev.fn = ev.arg = None
+                pool.append(ev)
             return
         if not ev.triggered:
-            # Only timeouts sit in the heap untriggered; their due time has
-            # arrived, so they trigger now with their held-aside payload.
+            # Only timeouts sit in the queue untriggered; their due time
+            # has arrived, so they trigger now with the held-aside payload.
             ev._ok = True
             ev._value = ev._pending_value
         callbacks = ev.callbacks
@@ -194,7 +376,12 @@ class Simulator:
         self.events_processed += 1
         if self.trace is not None:
             self.trace.kernel_event(when, ev)
-        assert callbacks is not None, "event processed twice"
+        if callbacks is None:
+            # A twice-enqueued event would replay its callbacks and
+            # corrupt the run; fail loudly (a bare assert would vanish
+            # under ``python -O``).
+            raise SimulationError(
+                f"event {ev!r} processed twice (double enqueue)")
         for cb in callbacks:
             cb(ev)
         # An event that failed with nobody listening would silently swallow
@@ -212,25 +399,38 @@ class Simulator:
             Stop once the clock would pass this time (the clock is left at
             ``until``).  ``None`` runs to queue exhaustion.
         max_events:
-            Safety valve for runaway models; raises
-            :class:`SimulationError` when exceeded.
+            Per-call safety valve for runaway models; raises
+            :class:`SimulationError` when this call has processed that
+            many events.
 
         Returns
         -------
         float
             The virtual time at which the run stopped.
         """
-        budget = max_events if max_events is not None else float("inf")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        budget = max_events if max_events is not None else _INF
+        step = self.step
+        cal = self._cal
+        heap = self._heap
+        if until is None:
+            while (cal._len if cal is not None else heap):
+                if budget <= 0:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}"
+                        " (possible livelock)")
+                budget -= 1
+                step()
+            return self._now
+        while (cal._len if cal is not None else heap):
+            if self.peek() > until:
                 self._now = until
                 return self._now
             if budget <= 0:
                 raise SimulationError(
                     f"exceeded max_events={max_events} (possible livelock)")
             budget -= 1
-            self.step()
-        if until is not None and until > self._now:
+            step()
+        if until > self._now:
             self._now = until
         return self._now
 
@@ -238,26 +438,39 @@ class Simulator:
                            max_events: Optional[int] = None) -> Any:
         """Run until ``proc`` finishes; return its value or raise its error.
 
+        ``max_events`` is a per-call budget: the counter is snapshotted
+        at entry, so driving several jobs back-to-back on one simulator
+        gives each call the full budget rather than charging later calls
+        for earlier ones.
+
         Raises :class:`DeadlockError` if the event queue drains while the
         process is still alive (it is blocked on something that can never
         happen).
         """
-        while not proc.triggered:
-            if not self._heap:
+        step = self.step
+        cal = self._cal
+        heap = self._heap
+        if max_events is None:
+            ceiling = None
+        else:
+            ceiling = self.events_processed + max_events
+        while proc._value is PENDING:
+            if not (cal._len if cal is not None else heap):
                 waiting = sorted(p.name for p in self._live_processes)
                 raise DeadlockError(
                     f"event queue drained but {proc.name!r} never finished;"
                     f" live processes: {waiting[:20]}")
-            if max_events is not None:
-                if self.events_processed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} waiting for"
-                        f" {proc.name!r}")
-            self.step()
+            if ceiling is not None and self.events_processed >= ceiling:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} waiting for"
+                    f" {proc.name!r}")
+            step()
         if proc._ok:
             return proc._value
         raise proc._value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (f"<Simulator t={self._now:.3f}us pending={len(self._heap)}"
-                f" live={len(self._live_processes)}>")
+        return (f"<Simulator t={self._now:.3f}us"
+                f" pending={self._pending()}"
+                f" live={len(self._live_processes)}"
+                f" scheduler={self.scheduler}>")

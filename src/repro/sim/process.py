@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from ..errors import SimulationError
-from .events import PENDING, Event
+from .events import FLOAT_WAKE, PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .kernel import Simulator
@@ -112,6 +112,19 @@ class Process(Event):
                     # Failure propagates into the generator; if uncaught it
                     # escapes and kills this process below.
                     nxt = self._gen.throw(trigger._value)
+                # Bare-number yield: sleep that many microseconds, then
+                # resume with None.  Equivalent to ``yield sim.timeout(d)``
+                # at a fraction of the cost (one pooled fast timer instead
+                # of a Timeout object + callbacks list); scheduled at the
+                # same point in execution, so it consumes the same kernel
+                # sequence number and virtual time is byte-identical.
+                # Float sleeps are kernel-internal and non-interruptible
+                # (see ``interrupt``); the machine model only uses them
+                # for non-preemptive CPU bursts.
+                cls = nxt.__class__
+                if cls is float or cls is int:
+                    sim.call_at(sim._now + nxt, self._resume, FLOAT_WAKE)
+                    return
                 # The generator yielded: it must be an Event of this sim.
                 if not isinstance(nxt, Event):
                     msg = (f"process {self.name!r} yielded {nxt!r}; "

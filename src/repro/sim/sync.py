@@ -52,15 +52,20 @@ class SimLock:
         return self._owner
 
     def acquire(self, owner: Any = None, priority: int = 0) -> Event:
-        """Request the lock; the returned event fires once it is held."""
-        ev = Event(self.sim, name=self._acquire_name)
+        """Request the lock; the returned event fires once it is held.
+
+        An uncontended acquire completes synchronously (the returned
+        event is already processed and the waiter continues inline);
+        the lock state itself was always taken synchronously, so this
+        only skips the kernel round trip of the wakeup.
+        """
         if not self._locked:
             self._locked = True
             self._owner = owner
-            ev.succeed(self)
-        else:
-            self._seq += 1
-            heapq.heappush(self._waiters, (priority, self._seq, ev, owner))
+            return Event.completed(self.sim, self, name=self._acquire_name)
+        ev = Event(self.sim, name=self._acquire_name)
+        self._seq += 1
+        heapq.heappush(self._waiters, (priority, self._seq, ev, owner))
         return ev
 
     def release(self) -> None:
@@ -109,13 +114,16 @@ class Semaphore:
                 self._value += 1
 
     def wait(self) -> Event:
-        """Decrement; the returned event fires once a unit was taken."""
-        ev = Event(self.sim, name=self._wait_name)
+        """Decrement; the returned event fires once a unit was taken.
+
+        When a unit is available the wait completes synchronously (the
+        returned event is already processed; see :meth:`SimLock.acquire`).
+        """
         if self._value > 0:
             self._value -= 1
-            ev.succeed(None)
-        else:
-            self._waiters.append(ev)
+            return Event.completed(self.sim, None, name=self._wait_name)
+        ev = Event(self.sim, name=self._wait_name)
+        self._waiters.append(ev)
         return ev
 
     def try_wait(self) -> bool:

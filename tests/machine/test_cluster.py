@@ -95,6 +95,37 @@ class TestRunJob:
         second = c.run_job(main, stacks=())
         assert second[0] > first[0]  # virtual clock persists
 
+    def test_max_events_is_per_call(self):
+        # Regression: the budget is relative to the event counter at
+        # entry.  Historically the ceiling was absolute, so a second
+        # job inherited the first's event count and a back-to-back run
+        # with the same max_events died spuriously.
+        c = Cluster(nnodes=2)
+
+        def main(task):
+            for _ in range(20):
+                yield c.sim.timeout(1.0)
+            return task.rank
+
+        budget = 400
+        assert c.run_job(main, stacks=(), max_events=budget) == [0, 1]
+        assert c.sim.events_processed > 40  # first job consumed events
+        assert c.run_job(main, stacks=(), max_events=budget) == [0, 1]
+
+    def test_max_events_budget_still_enforced_on_second_job(self):
+        c = Cluster(nnodes=1)
+
+        def short(task):
+            yield c.sim.timeout(1.0)
+
+        def endless(task):
+            while True:
+                yield c.sim.timeout(1.0)
+
+        c.run_job(short, stacks=())
+        with pytest.raises(MachineError, match="max_events"):
+            c.run_job(endless, stacks=(), max_events=50)
+
 
 class TestOob:
     def test_allgather_accumulates(self):

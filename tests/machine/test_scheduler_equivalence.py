@@ -1,0 +1,175 @@
+"""Golden equivalence: calendar scheduler vs the heap scheduler.
+
+The calendar queue must be an invisible wall-clock optimization: every
+virtual-time observable -- final clocks, event counts, rendered
+metrics blocks, span streams, per-rank results -- must be
+byte-identical to the binary-heap scheduler on the same workload.
+These tests run real bench workloads (reduced Figure 2 and Table 2
+sweeps) and machine jobs under both backends and diff everything.
+"""
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.bandwidth import run_fig2
+from repro.bench.latency import run_table2
+from repro.machine import Cluster
+from repro.machine.config import SP_1998
+from repro.machine.stats import snapshot
+from repro.sim import SCHEDULERS, Simulator
+
+
+@pytest.fixture
+def obs_off():
+    yield
+    runner.configure_observability()
+
+
+def _ring_job(nnodes, scheduler, topology="sp"):
+    """A LAPI ring put + fences; returns every observable surface."""
+    cfg = (SP_1998 if topology == "sp"
+           else SP_1998.replace(topology=topology))
+    cluster = Cluster(nnodes, config=cfg, seed=0xE0, scheduler=scheduler)
+
+    def main(task):
+        lapi = task.lapi
+        mem = task.memory
+        window = mem.malloc(8192)
+        src = mem.malloc(8192)
+        yield from lapi.gfence()
+        right = (task.rank + 1) % task.size
+        yield from lapi.put(right, 8192, window, src)
+        yield from lapi.fence()
+        yield from lapi.gfence()
+        return task.now()
+
+    results = cluster.run_job(main, stacks=("lapi",))
+    return {
+        "results": results,
+        "now": cluster.sim.now,
+        "events": cluster.sim.events_processed,
+        "metrics": cluster.metrics.render(),
+        "stats": snapshot(cluster).render(),
+    }
+
+
+class TestJobEquivalence:
+    @pytest.mark.parametrize("nnodes", [2, 8])
+    def test_ring_identical_across_schedulers(self, nnodes):
+        heap = _ring_job(nnodes, "heap")
+        cal = _ring_job(nnodes, "calendar")
+        assert heap == cal
+
+    @pytest.mark.parametrize("topology", ["fattree", "dragonfly"])
+    def test_ring_identical_on_scale_fabrics(self, topology):
+        heap = _ring_job(8, "heap", topology=topology)
+        cal = _ring_job(8, "calendar", topology=topology)
+        assert heap == cal
+
+
+def _bench_suite():
+    """Reduced fig2 + table2 under full observability."""
+    fig2 = run_fig2(sizes=[1024, 16384])
+    fig2_caps = runner.drain_captures()
+    table2 = run_table2()
+    table2_caps = runner.drain_captures()
+    caps = fig2_caps + table2_caps
+    return {
+        "fig2_render": fig2.render(),
+        "table2_render": table2.render(),
+        "metrics": [c.metrics_block for c in caps],
+        "virtual_us": [c.now for c in caps],
+        "events": [c.events for c in caps],
+        "spans": [c.spans for c in caps],
+    }
+
+
+class TestBenchEquivalence:
+    def test_fig2_and_table2_byte_identical(self, obs_off, monkeypatch):
+        """The acceptance check: real bench experiments produce
+        byte-identical tables, metrics blocks, virtual times, and span
+        streams whichever scheduler the kernel runs on."""
+        runner.configure_observability(metrics=True, capture=True,
+                                       spans=True)
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
+        heap = _bench_suite()
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "calendar")
+        cal = _bench_suite()
+        assert heap["spans"][0], "expected span records"
+        assert heap == cal
+
+
+class TestKernelEdgeCases:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_timeout_at_fires_on_exact_float(self, scheduler):
+        # 0.1 + 0.2 is the canonical non-representable sum; timeout_at
+        # must pin the due time to the given float exactly, with no
+        # now + delay round trip perturbing it.
+        sim = Simulator(scheduler=scheduler)
+        due = 0.1 + 0.2
+        fired = []
+        sim.timeout_at(due).callbacks.append(
+            lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [due]
+
+    def test_timeout_at_identical_across_schedulers(self):
+        ends = {}
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            for k in range(40):
+                sim.timeout_at(k * 0.7 + 0.1)
+            ends[scheduler] = (sim.run(), sim.events_processed)
+        assert ends["heap"] == ends["calendar"]
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_equal_timestamp_fifo(self, scheduler):
+        # Callbacks scheduled for the same instant fire in scheduling
+        # order -- from the past, and from within that instant.
+        sim = Simulator(scheduler=scheduler)
+        order = []
+        for i in range(5):
+            sim.call_at(10.0, order.append, ("pre", i))
+
+        def at_ten(_):
+            order.append(("mid", 0))
+            for j in range(3):
+                sim.call_at(10.0, order.append, ("post", j))
+
+        sim.call_at(10.0, at_ten, None)
+        sim.run()
+        assert order == ([("pre", i) for i in range(5)]
+                         + [("mid", 0)]
+                         + [("post", j) for j in range(3)])
+
+    def test_equal_timestamp_order_matches_heap(self):
+        # A mixed brew of same-instant and future wakeups: the full
+        # callback sequence must be identical across schedulers.
+        def brew(scheduler):
+            sim = Simulator(scheduler=scheduler)
+            log = []
+
+            def tick(label):
+                log.append((sim.now, label))
+                if label[0] < 3:
+                    sim.call_at(sim.now, tick, (label[0] + 1, "same"))
+                    sim.call_at(sim.now + 0.5, tick,
+                                (label[0] + 1, "later"))
+
+            for i in range(4):
+                sim.call_at(float(i % 2), tick, (0, f"seed{i}"))
+            sim.run()
+            return log
+
+        assert brew("heap") == brew("calendar")
+
+    def test_unknown_scheduler_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError, match="scheduler"):
+            Simulator(scheduler="fifo")
+
+    def test_env_var_selects_scheduler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
+        assert Simulator()._cal is None
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "calendar")
+        assert Simulator()._cal is not None

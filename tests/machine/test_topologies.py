@@ -1,0 +1,195 @@
+"""Tests for the scale fabrics: fat tree, dragonfly, and the factory.
+
+The SP multistage topology is covered by the historical network tests;
+these exercise the two large-N fabrics added for ``--scale`` -- route
+shapes, candidate counts, gateway selection -- plus the bounded route
+cache and the streamed top-k link statistics.
+"""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.machine.config import SP_1998
+from repro.machine.routing import (DragonflyTopology, FatTreeTopology,
+                                   TOPOLOGIES, Topology, build_topology)
+from repro.machine.switch import Switch
+from repro.sim import RngRegistry, Simulator
+
+
+FT_CFG = SP_1998.replace(topology="fattree")
+DF_CFG = SP_1998.replace(topology="dragonfly")
+
+
+def make_switch(config=SP_1998, nnodes=8):
+    return Switch(Simulator(), nnodes, config, RngRegistry(seed=1))
+
+
+class TestFactory:
+    def test_dispatch(self):
+        assert type(build_topology(8, SP_1998)) is Topology
+        assert isinstance(build_topology(8, FT_CFG), FatTreeTopology)
+        assert isinstance(build_topology(8, DF_CFG), DragonflyTopology)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(NetworkError, match="topology"):
+            build_topology(8, SP_1998.replace(topology="torus"))
+
+    def test_config_validate_rejects_unknown(self):
+        with pytest.raises(ValueError, match="topology"):
+            SP_1998.replace(topology="torus").validate()
+
+    def test_registry(self):
+        assert TOPOLOGIES == ("sp", "fattree", "dragonfly")
+
+
+class TestFatTree:
+    def test_same_leaf_single_route(self):
+        ft = build_topology(64, FT_CFG)
+        (route,) = ft.routes(0, 1, FT_CFG)
+        assert len(route.links) == 2  # up + down, no fabric hops
+        assert not route.crosses_core
+
+    def test_same_pod_candidates(self):
+        ft = build_topology(256, FT_CFG)
+        # Nodes 0 and 16 sit on different leaves of pod 0.
+        routes = list(ft.routes(0, 16, FT_CFG))
+        assert len(routes) == ft.agg_count
+        assert all(len(r.links) == 4 for r in routes)
+        assert not any(r.crosses_core for r in routes)
+
+    def test_cross_pod_candidates(self):
+        ft = build_topology(512, FT_CFG)
+        pod = ft.leaf_size * ft.pod_leaves
+        routes = list(ft.routes(0, pod, FT_CFG))
+        assert len(routes) == ft.core_count
+        assert all(len(r.links) == 6 for r in routes)
+        assert all(r.crosses_core for r in routes)
+
+    def test_candidate_paths_are_disjoint_in_fabric(self):
+        ft = build_topology(512, FT_CFG)
+        pod = ft.leaf_size * ft.pod_leaves
+        fabric = [tuple(ln.name for ln in r.links[1:-1])
+                  for r in ft.routes(0, pod, FT_CFG)]
+        assert len(set(fabric)) == len(fabric)
+
+    def test_latency_grows_with_distance(self):
+        ft = build_topology(512, FT_CFG)
+        (leaf,) = ft.routes(0, 1, FT_CFG)
+        pod_route = ft.routes(0, 16, FT_CFG)[0]
+        core_route = ft.routes(
+            0, ft.leaf_size * ft.pod_leaves, FT_CFG)[0]
+        assert (leaf.fixed_latency < pod_route.fixed_latency
+                < core_route.fixed_latency)
+
+    def test_iter_links_covers_route_links(self):
+        ft = build_topology(128, FT_CFG)
+        names = {ln.name for ln in ft.iter_links()}
+        for dst in (1, 16, 127):
+            for route in ft.routes(0, dst, FT_CFG):
+                assert {ln.name for ln in route.links} <= names
+
+
+class TestDragonfly:
+    def test_same_router(self):
+        df = build_topology(64, DF_CFG)
+        (route,) = df.routes(0, 1, DF_CFG)
+        assert len(route.links) == 2
+        assert not route.crosses_core
+
+    def test_same_group_uses_local_link(self):
+        df = build_topology(64, DF_CFG)
+        (route,) = df.routes(0, df.router_nodes, DF_CFG)
+        assert len(route.links) == 3
+        assert not route.crosses_core
+
+    def test_cross_group_minimal_path(self):
+        df = build_topology(512, DF_CFG)
+        group = df.router_nodes * df.group_routers
+        (route,) = df.routes(0, group, DF_CFG)
+        assert route.crosses_core
+        names = [ln.name for ln in route.links]
+        assert sum(n.startswith("G") for n in names) == 1  # one global
+        # Minimal routing: at most up + local + global + local + down.
+        assert 3 <= len(route.links) <= 5
+
+    def test_cross_group_latency_includes_global(self):
+        df = build_topology(512, DF_CFG)
+        group = df.router_nodes * df.group_routers
+        (local,) = df.routes(0, 1, DF_CFG)
+        (remote,) = df.routes(0, group, DF_CFG)
+        assert (remote.fixed_latency - local.fixed_latency
+                >= DF_CFG.dragonfly_global_latency)
+
+    def test_gateway_router_selection(self):
+        # The gateway toward group gd is router ``gd % rpg``; a source
+        # already sitting on the gateway router skips the local hop.
+        df = build_topology(512, DF_CFG)
+        group = df.router_nodes * df.group_routers
+        gw_src = 1 * df.router_nodes  # node on router 1 == gateway to g1
+        (from_gw,) = df.routes(gw_src, group, DF_CFG)
+        (from_r0,) = df.routes(0, group, DF_CFG)
+        assert len(from_gw.links) == len(from_r0.links) - 1
+
+    def test_iter_links_covers_route_links(self):
+        df = build_topology(256, DF_CFG)
+        names = {ln.name for ln in df.iter_links()}
+        for dst in (1, 5, 64, 255):
+            for route in df.routes(0, dst, DF_CFG):
+                assert {ln.name for ln in route.links} <= names
+
+
+class TestBoundedRouteCache:
+    def test_unbounded_by_default(self):
+        sw = make_switch()
+        assert sw._route_cache_limit is None
+        for dst in range(1, 8):
+            sw.route_candidates(0, dst)
+        assert len(sw._route_cache) == 7
+
+    def test_fifo_eviction_at_limit(self):
+        sw = make_switch(SP_1998.replace(route_cache_entries=4))
+        for dst in range(1, 6):
+            sw.route_candidates(0, dst)
+        assert len(sw._route_cache) == 4
+        assert (0, 1) not in sw._route_cache  # oldest evicted
+        assert (0, 5) in sw._route_cache
+
+    def test_eviction_does_not_change_routes(self):
+        sw = make_switch(SP_1998.replace(route_cache_entries=2))
+        first = sw.route_candidates(0, 1)
+        for dst in range(2, 8):
+            sw.route_candidates(0, dst)
+        again = sw.route_candidates(0, 1)  # recomputed after eviction
+        assert [tuple(ln.name for ln in r.links) for r in first] == \
+               [tuple(ln.name for ln in r.links) for r in again]
+
+
+class TestTopLinks:
+    HORIZON = 10.0
+
+    def _loaded_switch(self):
+        sw = make_switch()
+        for dst in range(1, 8):
+            for route in sw.route_candidates(0, dst):
+                for link in route.links:
+                    link.occupy(0.0, 0.3 * dst)  # uneven load
+        return sw
+
+    def test_busiest_links_matches_full_sort(self):
+        sw = self._loaded_switch()
+        full = sorted(sw.link_utilization(self.HORIZON).items(),
+                      key=lambda kv: -kv[1])
+        for k in (1, 4, 16, 10_000):
+            assert sw.busiest_links(k, self.HORIZON) == full[:k]
+
+    def test_metrics_default_is_full_block(self):
+        sw = self._loaded_switch()
+        assert sw.metrics_top_links is None
+        gauges = [n for n in sw.metrics() if n.startswith("util.")]
+        assert len(gauges) == len(sw.link_utilization())
+
+    def test_metrics_top_links_bounds_block(self):
+        sw = self._loaded_switch()
+        sw.metrics_top_links = 3
+        gauges = [n for n in sw.metrics() if n.startswith("util.")]
+        assert len(gauges) == 3

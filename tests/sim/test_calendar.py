@@ -1,0 +1,146 @@
+"""CalendarQueue reference implementation: ordering and edge cases.
+
+The kernel inlines the calendar's push/pop field-for-field, so these
+tests drive the *reference* methods directly -- including a randomized
+cross-validation against a plain heapq, which is the ordering oracle
+the golden scheduler-equivalence tests extend end-to-end.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.calendar import DEFAULT_BUCKET_WIDTH, CalendarQueue
+
+
+def drain(q):
+    out = []
+    while q:
+        out.append(q.pop())
+    return out
+
+
+class TestBasics:
+    def test_empty(self):
+        q = CalendarQueue()
+        assert len(q) == 0
+        assert not q
+        assert q.peek_when() == float("inf")
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_invalid_width_rejected(self):
+        for width in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError):
+                CalendarQueue(bucket_width=width)
+
+    def test_single_entry(self):
+        q = CalendarQueue()
+        q.push(5.0, 1, "a", now=0.0)
+        assert len(q) == 1
+        assert q.peek_when() == 5.0
+        assert q.pop() == (5.0, 1, "a")
+        assert not q
+
+    def test_sorted_across_buckets(self):
+        q = CalendarQueue(bucket_width=1.0)
+        times = [7.5, 0.25, 3.0, 12.0, 0.75, 3.5]
+        for seq, when in enumerate(times):
+            q.push(when, seq, f"i{seq}", now=0.0)
+        popped = [e[0] for e in drain(q)]
+        assert popped == sorted(times)
+
+    def test_fifo_within_equal_times(self):
+        q = CalendarQueue()
+        for seq in range(10):
+            q.push(4.0, seq, seq, now=0.0)
+        assert [e[2] for e in drain(q)] == list(range(10))
+
+
+class TestNowLane:
+    def test_now_pushes_preserve_fifo(self):
+        q = CalendarQueue()
+        for seq in range(5):
+            q.push(2.0, seq, seq, now=2.0)
+        out = drain(q)
+        assert [e[2] for e in out] == [0, 1, 2, 3, 4]
+        # Lane pops report when == the lane stamp and seq None.
+        assert all(e[0] == 2.0 and e[1] is None for e in out)
+
+    def test_bucketed_entries_at_lane_time_drain_first(self):
+        # An entry scheduled earlier *for* time t must come out before
+        # entries pushed *at* time t (it has the smaller seq).
+        q = CalendarQueue()
+        q.push(3.0, 1, "scheduled", now=0.0)
+        q.push(3.0, 2, "immediate", now=3.0)
+        assert q.pop()[2] == "scheduled"
+        assert q.pop()[2] == "immediate"
+
+    def test_future_entry_does_not_block_lane(self):
+        q = CalendarQueue()
+        q.push(9.0, 1, "later", now=0.0)
+        q.push(1.0, 2, "now", now=1.0)
+        assert q.peek_when() == 1.0
+        assert q.pop()[2] == "now"
+        assert q.pop()[2] == "later"
+
+
+class TestEarlierDayPreemption:
+    def test_push_before_active_day(self):
+        # Activate a day by popping from it, then push into an earlier
+        # day: the earlier entry must come out next.
+        q = CalendarQueue(bucket_width=1.0)
+        q.push(10.2, 1, "a", now=0.0)
+        q.push(10.4, 2, "b", now=0.0)
+        assert q.pop()[2] == "a"  # day 10 is now active, pos=1
+        q.push(3.5, 3, "early", now=0.0)
+        assert q.pop()[2] == "early"
+        assert q.pop()[2] == "b"  # consumed prefix was compacted
+
+    def test_interleaved_push_pop_keeps_order(self):
+        q = CalendarQueue(bucket_width=2.0)
+        q.push(8.0, 1, 1, now=0.0)
+        q.push(9.0, 2, 2, now=0.0)
+        assert q.pop()[2] == 1
+        q.push(8.5, 3, 3, now=8.0)   # into the active day, after pos
+        q.push(2.0, 4, 4, now=0.0)   # earlier day preempts
+        assert [e[2] for e in drain(q)] == [4, 3, 2]
+
+
+class TestRandomizedOracle:
+    @pytest.mark.parametrize("width", [0.5, DEFAULT_BUCKET_WIDTH, 64.0])
+    def test_matches_heapq(self, width):
+        """Interleaved pushes and pops against the heapq oracle.
+
+        Mirrors how the kernel drives the queue: time only moves
+        forward (to the `when` of the last pop), and a fraction of
+        pushes land exactly at `now` (the same-instant lane).
+        """
+        rng = random.Random(0xCA1)
+        q = CalendarQueue(bucket_width=width)
+        oracle = []
+        seq = 0
+        now = 0.0
+        popped_q = []
+        popped_o = []
+        for _ in range(3000):
+            if oracle and rng.random() < 0.45:
+                got = q.pop()
+                want = heapq.heappop(oracle)
+                popped_q.append((got[0], got[2]))
+                popped_o.append((want[0], want[2]))
+                now = max(now, want[0])
+            else:
+                r = rng.random()
+                when = now if r < 0.35 else now + rng.random() * 40.0
+                seq += 1
+                q.push(when, seq, seq, now=now)
+                heapq.heappush(oracle, (when, seq, seq))
+        while oracle:
+            got = q.pop()
+            want = heapq.heappop(oracle)
+            popped_q.append((got[0], got[2]))
+            popped_o.append((want[0], want[2]))
+        assert not q
+        assert popped_q == popped_o

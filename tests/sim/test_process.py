@@ -30,11 +30,23 @@ class TestBasicProcesses:
 
     def test_yield_non_event_rejected(self, sim):
         def body():
-            yield 42
+            yield "42us"
 
         proc = sim.process(body())
         with pytest.raises(SimulationError, match="yield Event"):
             sim.run_until_complete(proc)
+
+    def test_yield_bare_number_sleeps(self, sim):
+        # Bare int/float yields are the kernel's allocation-free sleep:
+        # equivalent to ``yield sim.timeout(d)``.
+        def body():
+            yield 42
+            yield 0.5
+            return sim.now
+
+        proc = sim.process(body())
+        assert sim.run_until_complete(proc) == 42.5
+        assert sim.now == 42.5
 
     def test_yield_foreign_event_rejected(self, sim):
         other = Simulator()
