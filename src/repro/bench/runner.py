@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 from ..machine import Cluster
 from ..machine.config import SP_1998, MachineConfig
-from ..obs import SpanRecorder, record_to_dict
+from ..obs import SpanRecorder, pool_stats, record_to_dict
 from ..sim import Tracer
 
 __all__ = ["fresh_cluster", "mean", "reps_for_size", "SIZE_SWEEP",
@@ -108,6 +108,9 @@ class ClusterCapture:
     #: order -- identical whether shipped from a worker or drained
     #: from a live in-process cluster.
     spans: list[dict] = field(default_factory=list)
+    #: Hot-path pool counters (:func:`repro.obs.pool_stats`), captured
+    #: only under ``--perf``; merged into BENCH_PERF's ``pools`` block.
+    pools: Optional[dict] = None
 
 
 def capture_cluster(cluster: Cluster) -> ClusterCapture:
@@ -118,10 +121,11 @@ def capture_cluster(cluster: Cluster) -> ClusterCapture:
              if cluster.trace is not None else [])
     spans = (cluster.spans.span_dicts()
              if cluster.spans is not None else [])
+    pools = pool_stats(cluster) if _OBS.capture else None
     return ClusterCapture(nnodes=cluster.nnodes, now=cluster.sim.now,
                           events=cluster.sim.events_processed,
                           metrics_block=metrics_block, trace=trace,
-                          spans=spans)
+                          spans=spans, pools=pools)
 
 
 def record_captures(captures: Sequence[ClusterCapture]) -> None:

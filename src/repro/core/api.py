@@ -35,7 +35,7 @@ from typing import (TYPE_CHECKING, Any, Callable, Generator, Optional,
 from ..errors import LapiError
 from ..machine.cpu import INTERRUPT
 from .amsend import do_amsend
-from .constants import QenvKey, RmwOp, SenvKey
+from .constants import PacketKind, QenvKey, RmwOp, SenvKey
 from .context import LapiContext, RmwPending
 from .counters import LapiCounter
 from .dispatcher import Dispatcher
@@ -211,7 +211,6 @@ class Lapi:
         perturbs dispatcher scheduling (and cannot mask data-packet
         interrupts).
         """
-        from .constants import PacketKind
         if packet.kind == PacketKind.ACK:
             self.transport.on_ack(packet)
             return True

@@ -18,11 +18,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..errors import LapiError
+from ..machine.packet import Packet
 from .constants import PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..machine.config import MachineConfig
-    from ..machine.packet import Packet
 
 __all__ = ["put_packets", "am_packets", "get_reply_packets",
            "control_packet", "PROTO"]
@@ -33,7 +33,6 @@ PROTO = "lapi"
 
 def _mk(src: int, dst: int, kind: str, header: int, payload: bytes,
         info: dict) -> "Packet":
-    from ..machine.packet import Packet
     return Packet(src=src, dst=dst, proto=PROTO, kind=kind,
                   header_bytes=header, payload=payload, info=info)
 

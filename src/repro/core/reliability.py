@@ -50,6 +50,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from ..errors import PeerUnreachableError
+from ..machine.packet import Packet as _Packet
 from ..sim import Semaphore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -389,11 +390,20 @@ class ReliableTransport:
         packet is fresh (first delivery); duplicates return False and
         must not be re-applied by the protocol layer.
         """
-        from ..machine.packet import Packet as _Packet
-        ack = _Packet(src=self.adapter.node_id, dst=packet.src,
-                      proto=self.proto, kind=self.ack_kind,
-                      header_bytes=ACK_HEADER_BYTES,
-                      info={"acked_seq": packet.seq})
+        pools = self.sim.pools
+        if pools is not None:
+            # Pooled fast path: reset-on-acquire with a fresh uid (the
+            # uid stream is byte-identical to a fresh construction, and
+            # uid-keyed span tracks can never alias a recycled packet).
+            ack = pools.packets.acquire(
+                self.adapter.node_id, packet.src, self.proto,
+                self.ack_kind, ACK_HEADER_BYTES)
+            ack.info["acked_seq"] = packet.seq
+        else:
+            ack = _Packet(src=self.adapter.node_id, dst=packet.src,
+                          proto=self.proto, kind=self.ack_kind,
+                          header_bytes=ACK_HEADER_BYTES,
+                          info={"acked_seq": packet.seq})
         self.adapter.inject_control(ack)
         self.acks_sent += 1
         fresh = self._peer_rx(packet.src).fresh(packet.seq)
@@ -428,11 +438,13 @@ class ReliableTransport:
         st = self._tx.get(packet.src)
         if st is None:
             self.duplicate_acks += 1
+            self._retire_ack(packet)
             return
         seq = packet.info["acked_seq"]
         entry = st.unacked.pop(seq, None)
         if entry is None:
             self.duplicate_acks += 1
+            self._retire_ack(packet)
             return
         retransmitted = seq in st.attempts
         st.attempts.pop(seq, None)
@@ -455,6 +467,25 @@ class ReliableTransport:
             on_ack()
         if self.on_progress is not None:
             self.on_progress()
+        self._retire_ack(packet)
+
+    def _retire_ack(self, packet: "Packet") -> None:
+        """Recycle a fully-consumed acknowledgement packet.
+
+        ``on_ack`` is the single consumption point for transport acks in
+        both stacks (adapter fast path and dispatcher branch); nothing
+        references the packet afterwards -- acks are never registered
+        for retransmission.  Pool-owned packets return to the free
+        list; foreign ones (tests driving ``on_ack`` directly) no-op.
+        The span recorder's uid-keyed track is retired alongside, so
+        the side table stays bounded on long runs.
+        """
+        pools = self.sim.pools
+        if pools is not None and packet.pooled:
+            sp = self.sim.spans
+            if sp is not None:
+                sp.retire_packet(packet.uid)
+            pools.packets.release(packet)
 
     # ------------------------------------------------------------------
     def metrics(self) -> dict:

@@ -25,12 +25,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
 from ..errors import LapiError
+from ..machine.packet import Packet
 from .constants import PacketKind
 from .context import SendState
 from .putget import _make_send_complete
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..machine.packet import Packet
     from .api import Lapi
     from .counters import LapiCounter
 
@@ -48,7 +48,6 @@ GETV_REQ = "getv_req"
 
 
 def _mk(config, src, dst, kind, header, payload, info) -> "Packet":
-    from ..machine.packet import Packet
     return Packet(src=src, dst=dst, proto="lapi", kind=kind,
                   header_bytes=header, payload=payload, info=info)
 

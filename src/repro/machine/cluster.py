@@ -28,6 +28,7 @@ from ..sim import PENDING, RngRegistry, Simulator, Tracer
 from .config import SP_1998, MachineConfig
 from .node import Node
 from .packet import reset_packet_ids
+from .pool import HotPools
 from .switch import Switch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -107,6 +108,13 @@ class Cluster:
         #: under both backends and diff every observable.
         self.sim = Simulator(scheduler=scheduler)
         self.sim.spans = spans
+        #: Per-cluster hot-path object pools (``repro.machine.pool``).
+        #: Owned here -- never process-global -- so a ``--jobs N``
+        #: worker's pool state is a function of its own cluster's
+        #: history only (the determinism contract).  Reachable by the
+        #: protocol stacks as ``sim.pools``.
+        self.pools = HotPools()
+        self.sim.pools = self.pools
         self.rng = RngRegistry(seed=seed)
         self.nodes = [Node(self.sim, i, config, trace=trace)
                       for i in range(nnodes)]
@@ -288,11 +296,73 @@ class Cluster:
                          if max_events is not None else None)
         cal = sim._cal
         heap = sim._heap
-        if until is None and event_ceiling is None:
+        if until is None and event_ceiling is None and cal is not None:
+            # Inlined CalendarQueue.pop + fast-timer fire, dispatch
+            # table for everything else -- the same inner loop as
+            # Simulator.run_until_complete (see repro.sim.kernel), with
+            # the per-event fatal check this driver needs.  Semantics
+            # identical to ``while pending: sim.step()``.
+            from ..sim.kernel import _DISPATCH, _TIMER_POOL_CAP
+            dispatch = _DISPATCH
+            timer_pool = sim._timer_pool
             while done._value is PENDING:
                 if self._fatal is not None:
                     raise self._fatal
-                if not (cal._len if cal is not None else heap):
+                clen = cal._len
+                if not clen:
+                    alive = [t.process.name for t in threads
+                             if t.process.is_alive]
+                    raise MachineError(
+                        f"job deadlocked; unfinished tasks: {alive}")
+                nq = cal._nowq
+                if nq:
+                    entry = None
+                    if len(nq) != clen:
+                        b = cal._active
+                        pos = cal._pos
+                        if b is None or pos >= len(b):
+                            b = cal._seek()
+                            pos = cal._pos
+                        if b is not None:
+                            entry = b[pos]
+                            if entry[0] <= cal._now_stamp:
+                                cal._pos = pos + 1
+                            else:
+                                entry = None
+                    cal._len = clen - 1
+                    if entry is not None:
+                        when = entry[0]
+                        ev = entry[2]
+                    else:
+                        when = cal._now_stamp
+                        ev = nq.popleft()
+                else:
+                    b = cal._active
+                    pos = cal._pos
+                    if b is None or pos >= len(b):
+                        b = cal._seek()
+                        pos = cal._pos
+                    cal._pos = pos + 1
+                    cal._len = clen - 1
+                    entry = b[pos]
+                    when = entry[0]
+                    ev = entry[2]
+                sim._now = when
+                if ev._qk == 0:
+                    sim.events_processed += 1
+                    if sim.trace is not None:
+                        sim.trace.kernel_event(when, ev)
+                    ev.fn(ev.arg)
+                    if len(timer_pool) < _TIMER_POOL_CAP:
+                        ev.fn = ev.arg = None
+                        timer_pool.append(ev)
+                else:
+                    dispatch[ev._qk](sim, when, ev)
+        elif until is None and event_ceiling is None:
+            while done._value is PENDING:
+                if self._fatal is not None:
+                    raise self._fatal
+                if not heap:
                     alive = [t.process.name for t in threads
                              if t.process.is_alive]
                     raise MachineError(

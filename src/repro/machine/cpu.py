@@ -131,10 +131,17 @@ class Thread:
 
     def wait(self, event: Event) -> Generator:
         """Release the CPU, wait for ``event``, re-acquire; returns value."""
+        # _release/_acquire inlined: wait() runs once per blocking
+        # progress step, and the extra generator frame per call is
+        # measurable on the perf harness.
         if self._holding:
-            self._release()
+            self._holding = False
+            self.cpu._lock.release()
         value = yield event
-        yield from self._acquire()
+        if self._holding:
+            raise MachineError(f"thread {self.name} double-acquired CPU")
+        yield self.cpu._lock.acquire(owner=self, priority=self.priority)
+        self._holding = True
         return value
 
     def sleep(self, delay: float) -> Generator:

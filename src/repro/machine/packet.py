@@ -6,12 +6,18 @@ protocol stacks (LAPI, MPL) put their wire-header *size* in
 *fields* travel in ``info`` (a real implementation would pack them into
 those bytes; carrying them decoded keeps the model inspectable without
 changing any timing).
+
+``Packet`` is a ``__slots__`` class, not a dataclass: packets are the
+single most-allocated model object (one per wire packet plus one per
+acknowledgement), and the per-instance ``__dict__`` plus generated
+``__init__``/``__post_init__`` chain of the dataclass it used to be were
+measurable on the hot path.  Construction semantics are unchanged; uids
+still come from the per-cluster counter.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..errors import NetworkError
@@ -29,7 +35,18 @@ def reset_packet_ids() -> None:
     _packet_ids = itertools.count()
 
 
-@dataclass
+def next_packet_id() -> int:
+    """Draw the next uid from the per-cluster stream.
+
+    The pool's reset-on-acquire path uses this so a recycled packet's
+    uid is exactly the one a fresh construction at the same point would
+    have drawn -- uid streams are byte-identical with pooling on or off,
+    and uid-keyed side tables (span tracks) can never alias a stale
+    entry.
+    """
+    return next(_packet_ids)
+
+
 class Packet:
     """One wire packet.
 
@@ -53,25 +70,35 @@ class Packet:
     info:
         Decoded protocol header fields (message id, offsets, handler
         ids...).  Conceptually part of ``header_bytes``.
+    uid:
+        Unique id for tracing/debugging; not part of the wire format.
+    size:
+        Total bytes on the wire.  Precomputed: ``header_bytes`` and
+        ``payload`` are fixed at construction, and ``size`` is read for
+        every serialization/occupancy charge on the TX and route paths.
+    pooled:
+        True for instances owned by a :class:`repro.machine.pool`
+        free list; only those may be released back to it.
     """
 
-    src: int
-    dst: int
-    proto: str
-    kind: str
-    header_bytes: int
-    payload: bytes = b""
-    seq: int = -1
-    info: dict[str, Any] = field(default_factory=dict)
-    #: Unique id for tracing/debugging; not part of the wire format.
-    uid: int = field(default_factory=lambda: next(_packet_ids))
-    #: Total bytes on the wire.  Precomputed: ``header_bytes`` and
-    #: ``payload`` are fixed at construction, and ``size`` is read for
-    #: every serialization/occupancy charge on the TX and route paths.
-    size: int = field(init=False, repr=False, compare=False)
+    __slots__ = ("src", "dst", "proto", "kind", "header_bytes", "payload",
+                 "seq", "info", "uid", "size", "pooled")
 
-    def __post_init__(self) -> None:
-        self.size = self.header_bytes + len(self.payload)
+    def __init__(self, src: int, dst: int, proto: str, kind: str,
+                 header_bytes: int, payload: bytes = b"", seq: int = -1,
+                 info: Optional[dict[str, Any]] = None,
+                 uid: Optional[int] = None) -> None:
+        self.src = src
+        self.dst = dst
+        self.proto = proto
+        self.kind = kind
+        self.header_bytes = header_bytes
+        self.payload = payload
+        self.seq = seq
+        self.info = {} if info is None else info
+        self.uid = next(_packet_ids) if uid is None else uid
+        self.size = header_bytes + len(payload)
+        self.pooled = False
 
     def validate(self, max_size: int) -> None:
         """Check wire-format invariants against the machine config."""

@@ -145,7 +145,9 @@ class Switch:
                 0, len(candidates)))]
 
         transfer = packet.size / cfg.link_bandwidth
-        t = self.sim.now
+        sim = self.sim
+        now = sim._now
+        t = now
         for link in route.links:
             t = link.occupy(t, transfer)
         t += route.fixed_latency
@@ -155,17 +157,17 @@ class Switch:
         self.packets_routed += 1
         self.bytes_routed += packet.size
         if self.trace is not None and self.trace.wants("route"):
-            self.trace.log(self.sim.now, "switch", "route",
+            self.trace.log(now, "switch", "route",
                            f"{packet!r} arrives t={t:.3f}",
                            arrival_us=round(t, 6),
                            **packet.trace_fields())
         # Bare-callback delivery: no Timeout, no name, no closure.  The
         # now + (t - now) round trip mirrors the Timeout it replaced so
         # delivery times stay bit-identical to the historical path.
-        delay = t - self.sim.now
+        delay = t - now
         deliver = (dst_adapter.deliver_corrupt if corrupt
                    else dst_adapter.deliver)
-        self.sim.call_at(self.sim.now + delay, deliver, packet)
+        sim.call_at(now + delay, deliver, packet)
 
     # ------------------------------------------------------------------
     def metrics(self) -> dict:

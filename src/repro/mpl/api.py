@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Callable, Generator, Optional, Union
 
 from ..errors import MplError
 from ..machine.cpu import INTERRUPT
-from .constants import ANY_SOURCE, ANY_TAG, ReservedTag
+from .constants import ANY_SOURCE, ANY_TAG, MplPacketKind, ReservedTag
 from .dispatcher import MplDispatcher
 from .matching import RecvRequest
 from .protocol import PROTO, data_packets, rts_packet
@@ -168,7 +168,6 @@ class Mpl:
 
     def _ack_fast_path(self, packet) -> bool:
         """Adapter-level transport-ACK handling (see the LAPI twin)."""
-        from .constants import MplPacketKind
         if packet.kind == MplPacketKind.ACK:
             self.transport.on_ack(packet)
             return True

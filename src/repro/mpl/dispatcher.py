@@ -52,7 +52,14 @@ class MplDispatcher:
         return processed
 
     def poll_step(self, thread: "Thread") -> Generator:
-        yield from thread.execute(self.config.poll_check_cost)
+        # Inlined thread.execute fast path (see the LAPI dispatcher's
+        # poll_step): identical timing, one less generator per poll.
+        cost = self.config.poll_check_cost
+        if thread._holding and thread.cpu.faults is None and cost > 0:
+            yield cost
+            thread.cpu_time += cost
+        else:
+            yield from thread.execute(cost)
         if self.mpl.client.pending > 0:
             yield from self.drain(thread)
             return
@@ -94,13 +101,22 @@ class MplDispatcher:
         self.ctx.stats.packets_processed += 1
         sp = self.mpl.spans
         if pkt.kind == MplPacketKind.ACK:
-            yield from thread.execute(0.3)
+            if thread._holding and thread.cpu.faults is None:
+                yield 0.3
+                thread.cpu_time += 0.3
+            else:
+                yield from thread.execute(0.3)
             if sp is not None:
                 sp.packet_dispatched(pkt, thread.sim.now)
             self.mpl.transport.on_ack(pkt)
             return
-        yield from thread.execute(cfg.mpl_pkt_recv_amortized if amortized
-                                  else cfg.mpl_pkt_recv_cost)
+        cost = (cfg.mpl_pkt_recv_amortized if amortized
+                else cfg.mpl_pkt_recv_cost)
+        if thread._holding and thread.cpu.faults is None and cost > 0:
+            yield cost
+            thread.cpu_time += cost
+        else:
+            yield from thread.execute(cost)
         if sp is not None:
             sp.packet_dispatched(pkt, thread.sim.now)
         if not self.mpl.transport.on_packet(pkt):

@@ -13,8 +13,8 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..machine.config import MachineConfig
-    from ..machine.packet import Packet
 
+from ..machine.packet import Packet
 from .constants import MplPacketKind
 
 __all__ = ["data_packets", "rts_packet", "cts_packet", "PROTO"]
@@ -25,7 +25,6 @@ PROTO = "mpl"
 
 def _mk(src: int, dst: int, kind: str, header: int, payload: bytes,
         info: dict) -> "Packet":
-    from ..machine.packet import Packet
     return Packet(src=src, dst=dst, proto=PROTO, kind=kind,
                   header_bytes=header, payload=payload, info=info)
 

@@ -40,6 +40,7 @@ from .export import (coerce_value, jsonl_lines, record_to_dict,
                      write_trace_jsonl)
 from .metrics import (Counter, DEPTH_BUCKETS, Gauge, Histogram,
                       LATENCY_BUCKETS_US, MetricsRegistry)
+from .pools import merge_pool_stats, pool_stats
 from .profile import (MANDATORY_PHASES, PHASE_ORDER, SIZE_BUCKETS,
                       bucket_of, critical_path, decompose, percentile,
                       render_critical_path, render_decomposition)
@@ -64,7 +65,9 @@ __all__ = [
     "critical_path",
     "decompose",
     "jsonl_lines",
+    "merge_pool_stats",
     "percentile",
+    "pool_stats",
     "record_to_dict",
     "render_critical_path",
     "render_decomposition",

@@ -21,6 +21,7 @@ depths (queue/stash occupancy).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from ..errors import SimulationError
@@ -107,11 +108,10 @@ class Histogram:
         self.total += value
         if value > self.max:
             self.max = value
-        for i, edge in enumerate(self.buckets):
-            if value <= edge:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        # bisect_left finds the first edge >= value -- the same slot the
+        # linear "value <= edge" scan selected; len(edges) lands in the
+        # +inf overflow bucket.
+        self.counts[bisect_left(self.buckets, value)] += 1
 
     def snapshot_value(self) -> dict:
         """Stable dict form: count/sum/max plus the nonzero buckets."""

@@ -109,13 +109,23 @@ def span_to_dict(span: Span) -> dict:
 
 
 class _PacketTrack:
-    """Side-table entry following one packet's lifecycle timestamps."""
+    """Side-table entry following one packet's lifecycle timestamps.
+
+    Tracks are recycled through a per-recorder free list (see
+    :meth:`SpanRecorder.retire_packet`): the reset in :meth:`reset`
+    clears every field, so a reused track carries nothing of the
+    previous packet's lifecycle.
+    """
 
     __slots__ = ("parent", "op", "nbytes", "submit", "wire", "rx",
                  "queue")
 
     def __init__(self, parent: Optional[int], op: Optional[str],
                  nbytes: Optional[int]) -> None:
+        self.reset(parent, op, nbytes)
+
+    def reset(self, parent: Optional[int], op: Optional[str],
+              nbytes: Optional[int]) -> None:
         self.parent = parent
         self.op = op
         self.nbytes = nbytes
@@ -146,6 +156,11 @@ class SpanRecorder:
         self._open: dict[int, Span] = {}
         self._pkt: dict[int, _PacketTrack] = {}
         self._msg: dict[tuple, tuple[Optional[int], int]] = {}
+        #: Free list of retired packet tracks (reset-on-acquire).
+        self._track_free: list[_PacketTrack] = []
+        #: Track pool counters (obs export; never in --metrics blocks).
+        self.tracks_created = 0
+        self.tracks_recycled = 0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -206,14 +221,46 @@ class SpanRecorder:
         (header/completion handlers) find the origin span.
         """
         for pkt in packets:
-            self._pkt[pkt.uid] = _PacketTrack(parent, op, nbytes)
+            self._pkt[pkt.uid] = self._new_track(parent, op, nbytes)
         if msg_key is not None:
             self._msg[msg_key] = (parent, nbytes)
 
     def bind_packet(self, pkt: "Packet", parent: Optional[int], op: str,
                     nbytes: int = 0) -> None:
         """Register a single (usually control) packet."""
-        self._pkt[pkt.uid] = _PacketTrack(parent, op, nbytes)
+        self._pkt[pkt.uid] = self._new_track(parent, op, nbytes)
+
+    def _new_track(self, parent: Optional[int], op: Optional[str],
+                   nbytes: Optional[int]) -> _PacketTrack:
+        free = self._track_free
+        if free:
+            track = free.pop()
+            track.reset(parent, op, nbytes)
+            return track
+        self.tracks_created += 1
+        return _PacketTrack(parent, op, nbytes)
+
+    def retire_packet(self, uid: int) -> None:
+        """Drop a finished packet's track and recycle the record.
+
+        Called when a packet's lifecycle is provably over (the
+        transport consumed its acknowledgement); keeps the side table
+        bounded on long runs instead of growing one entry per packet
+        ever sent.  Unknown uids no-op.
+        """
+        track = self._pkt.pop(uid, None)
+        if track is not None:
+            self.tracks_recycled += 1
+            self._track_free.append(track)
+
+    def pool_stats(self) -> dict:
+        """Track-pool counters for the BENCH_PERF ``pools`` block."""
+        return {
+            "tracks_created": self.tracks_created,
+            "tracks_recycled": self.tracks_recycled,
+            "tracks_live": len(self._pkt),
+            "free": len(self._track_free),
+        }
 
     def origin_of(self, pkt: "Packet") -> Optional[int]:
         """Originating span sid of a bound packet (None if unbound)."""
@@ -245,7 +292,7 @@ class SpanRecorder:
         if track is None:
             # Unbound packet (transport ack, barrier token...): track it
             # anyway so its phases still appear, attributed to its kind.
-            track = _PacketTrack(None, None, None)
+            track = self._new_track(None, None, None)
             self._pkt[pkt.uid] = track
         return track
 

@@ -81,6 +81,14 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "name")
 
+    #: Queue-entry kind for the kernel's dispatch table (see
+    #: ``repro.sim.kernel._DISPATCH``): 0 = fast timer, 1 = triggered
+    #: event awaiting callback processing, 2 = timeout that must trigger
+    #: from its held-aside payload when popped.  A class attribute so
+    #: ``__slots__`` instances stay field-free; subclasses that need a
+    #: different pop-time action override it.
+    _qk = 1
+
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
@@ -184,6 +192,10 @@ class Timeout(Event):
     """
 
     __slots__ = ("delay", "_pending_value")
+
+    #: Timeouts sit in the queue untriggered; the kernel's dispatch
+    #: table routes kind 2 through the trigger-from-pending path.
+    _qk = 2
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None,
                  name: str = "", at: Optional[float] = None) -> None:

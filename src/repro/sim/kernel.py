@@ -73,6 +73,9 @@ class _FastTimer:
 
     __slots__ = ("fn", "arg")
 
+    #: Queue-entry kind 0: bare callback (see ``_DISPATCH``).
+    _qk = 0
+
     def __init__(self, fn, arg) -> None:
         self.fn = fn
         self.arg = arg
@@ -80,6 +83,62 @@ class _FastTimer:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         label = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<call_at {label}({self.arg!r})>"
+
+
+# ----------------------------------------------------------------------
+# dispatch table
+# ----------------------------------------------------------------------
+# The kernel's inner loop routes each popped queue entry through a
+# precomputed per-kind table instead of an isinstance ladder: entries
+# carry a small integer ``_qk`` class attribute indexing ``_DISPATCH``.
+# The run loops additionally inline kind 0 (fast timers -- the vast
+# majority of machine-model events) so the steady state pays neither a
+# ``step()`` call nor a table lookup per event.
+
+def _fire_timer(sim: "Simulator", when: float, ev: _FastTimer) -> None:
+    """Kind 0: invoke a bare callback and recycle the timer."""
+    sim.events_processed += 1
+    if sim.trace is not None:
+        sim.trace.kernel_event(when, ev)
+    ev.fn(ev.arg)
+    pool = sim._timer_pool
+    if len(pool) < _TIMER_POOL_CAP:
+        ev.fn = ev.arg = None
+        pool.append(ev)
+
+
+def _fire_event(sim: "Simulator", when: float, ev: Event) -> None:
+    """Kind 1: process a triggered event's callbacks."""
+    callbacks = ev.callbacks
+    ev.callbacks = None  # mark processed
+    sim.events_processed += 1
+    if sim.trace is not None:
+        sim.trace.kernel_event(when, ev)
+    if callbacks is None:
+        # A twice-enqueued event would replay its callbacks and corrupt
+        # the run; fail loudly (a bare assert would vanish under
+        # ``python -O``).
+        raise SimulationError(
+            f"event {ev!r} processed twice (double enqueue)")
+    for cb in callbacks:
+        cb(ev)
+    # An event that failed with nobody listening would silently swallow
+    # the error; surface it so broken models crash loudly.
+    if ev._ok is False and not callbacks:
+        raise ev._value
+
+
+def _fire_timeout(sim: "Simulator", when: float, ev: Timeout) -> None:
+    """Kind 2: a timeout's due time has arrived -- trigger it with the
+    held-aside payload, then process callbacks like any event."""
+    if ev._value is PENDING:
+        ev._ok = True
+        ev._value = ev._pending_value
+    _fire_event(sim, when, ev)
+
+
+#: Pop-time actions indexed by the queue entry's ``_qk`` class attribute.
+_DISPATCH = (_fire_timer, _fire_event, _fire_timeout)
 
 
 class Simulator:
@@ -131,6 +190,12 @@ class Simulator:
         #: tables -- never the queue entries -- so :meth:`call_at` fast
         #: timers stay allocation-free with spans on.
         self.spans: Optional[Any] = None
+        #: Optional ``repro.machine.pool.HotPools`` attached by the
+        #: cluster: per-cluster free lists for hot-path model objects
+        #: (packets).  Like ``spans``, reached via the simulator only
+        #: for plumbing convenience -- the kernel itself never touches
+        #: it.
+        self.pools: Optional[Any] = None
         #: Cumulative count of events processed over the simulator's
         #: lifetime; useful for tests and perf accounting.  Budget
         #: checks (``max_events``) are always *per call*, relative to a
@@ -356,38 +421,7 @@ class Simulator:
                 raise SimulationError("step() on an empty event queue")
             when, _, ev = heappop(self._heap)
         self._now = when
-        if type(ev) is _FastTimer:
-            self.events_processed += 1
-            if self.trace is not None:
-                self.trace.kernel_event(when, ev)
-            ev.fn(ev.arg)
-            pool = self._timer_pool
-            if len(pool) < _TIMER_POOL_CAP:
-                ev.fn = ev.arg = None
-                pool.append(ev)
-            return
-        if not ev.triggered:
-            # Only timeouts sit in the queue untriggered; their due time
-            # has arrived, so they trigger now with the held-aside payload.
-            ev._ok = True
-            ev._value = ev._pending_value
-        callbacks = ev.callbacks
-        ev.callbacks = None  # mark processed
-        self.events_processed += 1
-        if self.trace is not None:
-            self.trace.kernel_event(when, ev)
-        if callbacks is None:
-            # A twice-enqueued event would replay its callbacks and
-            # corrupt the run; fail loudly (a bare assert would vanish
-            # under ``python -O``).
-            raise SimulationError(
-                f"event {ev!r} processed twice (double enqueue)")
-        for cb in callbacks:
-            cb(ev)
-        # An event that failed with nobody listening would silently swallow
-        # the error; surface it so broken models crash loudly.
-        if ev._ok is False and not callbacks:
-            raise ev._value
+        _DISPATCH[ev._qk](self, when, ev)
 
     def run(self, until: Optional[float] = None, *,
             max_events: Optional[int] = None) -> float:
@@ -413,7 +447,10 @@ class Simulator:
         cal = self._cal
         heap = self._heap
         if until is None:
-            while (cal._len if cal is not None else heap):
+            if cal is not None:
+                self._drain_calendar(cal, budget, max_events)
+                return self._now
+            while heap:
                 if budget <= 0:
                     raise SimulationError(
                         f"exceeded max_events={max_events}"
@@ -434,6 +471,73 @@ class Simulator:
             self._now = until
         return self._now
 
+    def _drain_calendar(self, cal: CalendarQueue, budget: float,
+                        max_events: Optional[int]) -> None:
+        """Run the calendar backend to queue exhaustion (hot inner loop).
+
+        The CalendarQueue pop and the dominant fast-timer fire are
+        inlined (see repro.sim.calendar, "hot-path note"): at millions
+        of events per benchmark the ``step()`` call frame and the
+        dispatch-table lookup are both measurable.  Semantics are
+        identical to ``while pending: step()``.
+        """
+        dispatch = _DISPATCH
+        timer_pool = self._timer_pool
+        while True:
+            clen = cal._len
+            if not clen:
+                return
+            if budget <= 0:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (possible livelock)")
+            budget -= 1
+            # Inlined CalendarQueue.pop (same logic as step()).
+            nq = cal._nowq
+            if nq:
+                entry = None
+                if len(nq) != clen:
+                    b = cal._active
+                    pos = cal._pos
+                    if b is None or pos >= len(b):
+                        b = cal._seek()
+                        pos = cal._pos
+                    if b is not None:
+                        entry = b[pos]
+                        if entry[0] <= cal._now_stamp:
+                            cal._pos = pos + 1
+                        else:
+                            entry = None
+                cal._len = clen - 1
+                if entry is not None:
+                    when = entry[0]
+                    ev = entry[2]
+                else:
+                    when = cal._now_stamp
+                    ev = nq.popleft()
+            else:
+                b = cal._active
+                pos = cal._pos
+                if b is None or pos >= len(b):
+                    b = cal._seek()
+                    pos = cal._pos
+                cal._pos = pos + 1
+                cal._len = clen - 1
+                entry = b[pos]
+                when = entry[0]
+                ev = entry[2]
+            self._now = when
+            if ev._qk == 0:
+                # Inlined _fire_timer: the dominant machine-model event.
+                self.events_processed += 1
+                if self.trace is not None:
+                    self.trace.kernel_event(when, ev)
+                ev.fn(ev.arg)
+                if len(timer_pool) < _TIMER_POOL_CAP:
+                    ev.fn = ev.arg = None
+                    timer_pool.append(ev)
+            else:
+                dispatch[ev._qk](self, when, ev)
+
     def run_until_complete(self, proc: Process, *,
                            max_events: Optional[int] = None) -> Any:
         """Run until ``proc`` finishes; return its value or raise its error.
@@ -451,20 +555,82 @@ class Simulator:
         cal = self._cal
         heap = self._heap
         if max_events is None:
-            ceiling = None
+            ceiling = _INF
         else:
             ceiling = self.events_processed + max_events
-        while proc._value is PENDING:
-            if not (cal._len if cal is not None else heap):
-                waiting = sorted(p.name for p in self._live_processes)
-                raise DeadlockError(
-                    f"event queue drained but {proc.name!r} never finished;"
-                    f" live processes: {waiting[:20]}")
-            if ceiling is not None and self.events_processed >= ceiling:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} waiting for"
-                    f" {proc.name!r}")
-            step()
+        if cal is not None:
+            # Hot inner loop: inlined CalendarQueue.pop + fast-timer
+            # fire, dispatch table for everything else (see
+            # _drain_calendar for rationale).  Semantics identical to
+            # ``while pending: step()``.
+            dispatch = _DISPATCH
+            timer_pool = self._timer_pool
+            while proc._value is PENDING:
+                clen = cal._len
+                if not clen:
+                    break
+                if self.events_processed >= ceiling:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} waiting for"
+                        f" {proc.name!r}")
+                nq = cal._nowq
+                if nq:
+                    entry = None
+                    if len(nq) != clen:
+                        b = cal._active
+                        pos = cal._pos
+                        if b is None or pos >= len(b):
+                            b = cal._seek()
+                            pos = cal._pos
+                        if b is not None:
+                            entry = b[pos]
+                            if entry[0] <= cal._now_stamp:
+                                cal._pos = pos + 1
+                            else:
+                                entry = None
+                    cal._len = clen - 1
+                    if entry is not None:
+                        when = entry[0]
+                        ev = entry[2]
+                    else:
+                        when = cal._now_stamp
+                        ev = nq.popleft()
+                else:
+                    b = cal._active
+                    pos = cal._pos
+                    if b is None or pos >= len(b):
+                        b = cal._seek()
+                        pos = cal._pos
+                    cal._pos = pos + 1
+                    cal._len = clen - 1
+                    entry = b[pos]
+                    when = entry[0]
+                    ev = entry[2]
+                self._now = when
+                if ev._qk == 0:
+                    self.events_processed += 1
+                    if self.trace is not None:
+                        self.trace.kernel_event(when, ev)
+                    ev.fn(ev.arg)
+                    if len(timer_pool) < _TIMER_POOL_CAP:
+                        ev.fn = ev.arg = None
+                        timer_pool.append(ev)
+                else:
+                    dispatch[ev._qk](self, when, ev)
+        else:
+            while proc._value is PENDING:
+                if not heap:
+                    break
+                if self.events_processed >= ceiling:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} waiting for"
+                        f" {proc.name!r}")
+                step()
+        if proc._value is PENDING:
+            waiting = sorted(p.name for p in self._live_processes)
+            raise DeadlockError(
+                f"event queue drained but {proc.name!r} never finished;"
+                f" live processes: {waiting[:20]}")
         if proc._ok:
             return proc._value
         raise proc._value

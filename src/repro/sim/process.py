@@ -136,8 +136,7 @@ class Process(Event):
                     raise SimulationError(
                         f"process {self.name!r} yielded an event belonging"
                         " to a different simulator")
-                if nxt.processed:
-                    # Already finished: loop and feed its outcome directly.
+                if nxt.callbacks is None:  # processed: consume inline
                     trigger = nxt
                     continue
                 nxt.callbacks.append(self._resume)
