@@ -15,15 +15,18 @@ regenerated rows, the paper's reference values, and shape-check
 verdicts.  ``python -m repro.bench`` runs everything.
 """
 
-from .apps import run_apps
-from .bandwidth import run_fig2
-from .chaos import run_chaos
-from .parallel import (JobSpec, SweepExecutor, configure, get_executor,
-                       spread_seed, sweep)
-from .ga_putget import run_fig3, run_fig4, run_ga_latency
-from .latency import run_pipeline_latency, run_table2
+from .apps import run_apps, submit_apps
+from .bandwidth import run_fig2, submit_fig2
+from .chaos import run_chaos, submit_chaos
+from .parallel import (CostModel, Deferred, JobSpec, SweepExecutor,
+                       SweepFuture, SweepScheduler, configure,
+                       get_executor, spread_seed, submit, sweep)
+from .ga_putget import (run_fig3, run_fig4, run_ga_latency,
+                        submit_fig3, submit_fig4, submit_ga_latency)
+from .latency import (run_pipeline_latency, run_table2,
+                      submit_pipeline_latency, submit_table2)
 from .report import ExperimentResult, ShapeCheck
-from .scale import run_scale
+from .scale import run_scale, submit_scale
 from .table1 import run_table1
 
 #: Every experiment, in paper order (name -> runner).
@@ -40,13 +43,18 @@ ALL_EXPERIMENTS = {
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "CostModel",
+    "Deferred",
     "ExperimentResult",
     "JobSpec",
     "ShapeCheck",
     "SweepExecutor",
+    "SweepFuture",
+    "SweepScheduler",
     "configure",
     "get_executor",
     "spread_seed",
+    "submit",
     "sweep",
     "run_apps",
     "run_chaos",
@@ -58,4 +66,13 @@ __all__ = [
     "run_scale",
     "run_table1",
     "run_table2",
+    "submit_apps",
+    "submit_chaos",
+    "submit_fig2",
+    "submit_fig3",
+    "submit_fig4",
+    "submit_ga_latency",
+    "submit_pipeline_latency",
+    "submit_scale",
+    "submit_table2",
 ]

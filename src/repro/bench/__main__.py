@@ -32,10 +32,15 @@ Parallelism (see ``docs/performance.md``):
 
 ``--jobs N`` / ``--jobs auto``
     Shard each experiment's independent cluster simulations across N
-    worker processes (``auto`` = usable core count).  Virtual-time
-    results, tables, ``--metrics`` blocks, and trace files are
-    byte-identical to ``--jobs 1``; only wall time changes.  Default
-    is serial.
+    worker processes (``auto`` = usable core count).  With N > 1 the
+    whole run is *pipelined*: every experiment's sweeps are submitted
+    up front and flow through one warm worker pool with no
+    inter-experiment barrier, issued longest-first from the persistent
+    job-cost cache (``.repro/job_costs.json``; override with
+    ``REPRO_COST_CACHE``, set ``REPRO_SWEEP_ORDER=fifo`` to disable
+    LPT).  Virtual-time results, tables, ``--metrics`` blocks, and
+    trace files are byte-identical to ``--jobs 1``; only wall time
+    changes.  Default is serial.
 
 Performance flags (see ``docs/performance.md``):
 
@@ -44,7 +49,11 @@ Performance flags (see ``docs/performance.md``):
     processed, and events/second for every experiment plus a dedicated
     2 MB LAPI put probe (``fig2_large``, the hot-path stress case).
     Writes a JSON report (default ``BENCH_PERF.json``) stamped with
-    host metadata and, under ``--jobs N``, per-worker pool statistics.
+    host metadata and the scheduler's ``parallel`` stats block (always
+    present; ``jobs: 1`` for serial runs).  Under ``--jobs N`` each
+    experiment's ``wall_s`` is the serial-equivalent CPU seconds its
+    jobs consumed (pool jobs overlap across experiments, so per-
+    experiment stopwatch walls would be meaningless).
 ``--perf-out FILE``
     Where to write the report.
 ``--perf-quick``
@@ -83,15 +92,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from statistics import median
-from typing import Optional
+from typing import Callable, Optional
 
-from . import (ALL_EXPERIMENTS, run_chaos, run_fig2, run_fig3, run_fig4,
-               run_scale)
+from . import ALL_EXPERIMENTS
 from . import parallel, runner
-from .bandwidth import lapi_bandwidth_point
+from .apps import submit_apps
+from .bandwidth import lapi_bandwidth_point, submit_fig2
+from .chaos import submit_chaos
+from .ga_putget import submit_fig3, submit_fig4, submit_ga_latency
+from .latency import submit_pipeline_latency, submit_table2
+from .parallel import Deferred
+from .scale import submit_scale
+from .table1 import run_table1
 from ..obs import (merge_pool_stats, render_critical_path,
                    render_decomposition, write_chrome_trace,
                    write_trace_jsonl)
@@ -157,6 +173,37 @@ def _check_rep_identity(name: str, first, rerun) -> None:
             " the repetition)")
 
 
+def _submitters(quick: bool, faults_on: bool,
+                scale_on: bool) -> dict[str, Callable[[], Deferred]]:
+    """Every experiment as a submit-phase entry point.
+
+    Each callable queues the experiment's sweeps on the installed
+    scheduler and returns a :class:`Deferred` whose ``finish()``
+    assembles the result -- the seam that lets ``--jobs N`` submit
+    everything up front and pipeline all sweeps through one pool.
+    Serial runs call submit+finish back to back, which runs the jobs
+    inline exactly as a direct ``run_*`` call would.
+    """
+    submitters: dict[str, Callable[[], Deferred]] = {
+        "table1": lambda: Deferred(None, lambda _: run_table1()),
+        "table2": submit_table2,
+        "pipeline": submit_pipeline_latency,
+        "fig2": (lambda: submit_fig2(sizes=QUICK_SIZES["fig2"]))
+        if quick else submit_fig2,
+        "fig3": (lambda: submit_fig3(sizes=QUICK_SIZES["fig3"]))
+        if quick else submit_fig3,
+        "fig4": (lambda: submit_fig4(sizes=QUICK_SIZES["fig4"]))
+        if quick else submit_fig4,
+        "ga_lat": submit_ga_latency,
+        "apps": submit_apps,
+    }
+    if faults_on:
+        submitters["chaos"] = lambda: submit_chaos(quick=quick)
+    if scale_on:
+        submitters["scale"] = lambda: submit_scale(quick=quick)
+    return submitters
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -213,11 +260,11 @@ def main(argv: list[str]) -> int:
                  or "chaos" in opts.experiments)
     scale_on = (opts.scale or opts.scale_out is not None
                 or "scale" in opts.experiments)
-    known = dict(ALL_EXPERIMENTS)
+    known = list(ALL_EXPERIMENTS)
     if faults_on:
-        known["chaos"] = run_chaos
+        known.append("chaos")
     if scale_on:
-        known["scale"] = run_scale
+        known.append("scale")
     names = opts.experiments or list(known)
     unknown = [n for n in names if n not in known]
     if unknown:
@@ -229,15 +276,7 @@ def main(argv: list[str]) -> int:
     if scale_on and "scale" not in names:
         names.append("scale")
 
-    experiments = dict(known)
-    if faults_on:
-        experiments["chaos"] = lambda: run_chaos(quick=opts.perf_quick)
-    if scale_on:
-        experiments["scale"] = lambda: run_scale(quick=opts.perf_quick)
-    if opts.perf_quick:
-        experiments["fig2"] = lambda: run_fig2(sizes=QUICK_SIZES["fig2"])
-        experiments["fig3"] = lambda: run_fig3(sizes=QUICK_SIZES["fig3"])
-        experiments["fig4"] = lambda: run_fig4(sizes=QUICK_SIZES["fig4"])
+    submitters = _submitters(opts.perf_quick, faults_on, scale_on)
 
     spans_on = (opts.spans or opts.spans_out is not None
                 or opts.decompose)
@@ -249,13 +288,30 @@ def main(argv: list[str]) -> int:
                                        capture=opts.perf,
                                        spans=spans_on)
     # Observability must be armed before the first parallel sweep so
-    # pool workers inherit the flags at initializer time.
-    executor = parallel.configure(jobs=opts.jobs)
-    if opts.jobs > 1:
-        print(f"parallel: sharding sweeps across {opts.jobs} worker"
-              " processes (results identical to --jobs 1)")
+    # pool workers inherit the flags at initializer time.  The cost
+    # cache persists across invocations: the second run schedules with
+    # real per-point costs.
+    cost_path = os.environ.get("REPRO_COST_CACHE",
+                               parallel.DEFAULT_COST_PATH)
+    executor = parallel.configure(jobs=opts.jobs, cost_path=cost_path)
+    pipelined = opts.jobs > 1
+    if pipelined:
+        print(f"parallel: pipelining sweeps across {opts.jobs} warm"
+              " worker processes (results identical to --jobs 1;"
+              f" issue order: {executor.order})")
         print()
 
+    # The executor must come down even when an experiment raises --
+    # orphaned pool workers outlive the CLI otherwise.
+    try:
+        return _run(opts, names, submitters, executor, observing,
+                    spans_on, pipelined)
+    finally:
+        parallel.shutdown()
+
+
+def _run(opts, names: list[str], submitters: dict, executor,
+         observing: bool, spans_on: bool, pipelined: bool) -> int:
     failed = 0
     trace_lines = 0
     first_trace = True
@@ -264,20 +320,38 @@ def main(argv: list[str]) -> int:
     scale_payload = None
     span_streams: list[list[dict]] = []
     pool_blocks: list = []
+    # Under --perf each experiment runs PERF_REPS times: the wall
+    # number is the median rep (single-shot walls are hostage to host
+    # noise) and the virtual observables are asserted byte-identical
+    # across reps.  The last rep's captures feed every downstream
+    # consumer -- by the identity assertion they are interchangeable.
+    reps = PERF_REPS if opts.perf else 1
+    pending: dict[str, list[Deferred]] = {}
+    if pipelined:
+        # Submit every experiment x rep up front: all sweeps flow
+        # through the warm pool with no inter-experiment barrier, in
+        # cost-model LPT order.  Results are banked as they complete
+        # and merged below in submission order, so the output stream
+        # is byte-identical to the serial loop.
+        pending = {name: [submitters[name]() for _ in range(reps)]
+                   for name in names}
     for name in names:
-        # Under --perf each experiment runs PERF_REPS times: the wall
-        # number is the median rep (single-shot walls are hostage to
-        # host noise) and the virtual observables are asserted
-        # byte-identical across reps.  The last rep's captures feed
-        # every downstream consumer -- by the identity assertion they
-        # are interchangeable.
-        reps = PERF_REPS if opts.perf else 1
         walls: list[float] = []
         captures: list = []
-        for _ in range(reps):
-            start = time.perf_counter()
-            result = experiments[name]()
-            walls.append(time.perf_counter() - start)
+        for rep in range(reps):
+            if pipelined:
+                deferred = pending[name][rep]
+                result = deferred.finish()
+                # Pool jobs overlap across experiments, so a stopwatch
+                # around finish() measures other experiments' work (or
+                # nothing, if the jobs already completed).  Report the
+                # serial-equivalent CPU seconds this experiment's jobs
+                # consumed -- the number comparable across job counts.
+                walls.append(deferred.job_cpu_s)
+            else:
+                start = time.perf_counter()
+                result = submitters[name]().finish()
+                walls.append(time.perf_counter() - start)
             if observing:
                 rerun = runner.drain_captures()
                 if opts.perf and len(walls) > 1:
@@ -321,7 +395,8 @@ def main(argv: list[str]) -> int:
         if decomposition is not None:
             print()
             print(decomposition)
-        print(f"(regenerated in {wall:.1f}s wall time)")
+        print(f"(regenerated in {wall:.1f}s"
+              f" {'cpu' if pipelined else 'wall'} time)")
         print()
         if not result.all_passed:
             failed += 1
@@ -334,7 +409,7 @@ def main(argv: list[str]) -> int:
         nspans = sum(len(s) for s in span_streams)
         print(f"wrote {nevents} trace events ({nspans} spans,"
               f" {len(span_streams)} clusters) to {opts.spans_out}")
-    if scale_on:
+    if "scale" in names:
         # Sorted keys; wall seconds and RSS are host facts and vary,
         # but every virtual-time field (virtual_us, events, packet
         # counters) is deterministic -- CI compares those between
@@ -362,9 +437,10 @@ def main(argv: list[str]) -> int:
 
     if opts.perf:
         # Dedicated hot-path probe: the large-message end of Figure 2,
-        # where the event kernel dominates wall time.  Runs inline (a
-        # single job gains nothing from the pool), repeated like the
-        # experiments with the same rep-identity contract.
+        # where the event kernel dominates wall time.  Runs inline in
+        # the parent -- it measures single-job kernel wall-clock, which
+        # a pool worker's scheduling noise would contaminate -- after
+        # every pooled sweep above has finished.
         probe_walls: list[float] = []
         probe_captures: list = []
         bw = 0.0
@@ -396,12 +472,13 @@ def main(argv: list[str]) -> int:
         totals["events_per_sec"] = (
             round(totals["events"] / totals["wall_s"])
             if totals["wall_s"] > 0 else 0)
-        report = {"schema": 2, "quick": opts.perf_quick,
+        # The parallel block is always present (jobs: 1 for serial
+        # runs) so trend tooling and the CI gates see a stable schema.
+        report = {"schema": 3, "quick": opts.perf_quick,
                   "host": parallel.host_record(opts.jobs),
                   "pools": merge_pool_stats(pool_blocks),
-                  "experiments": perf, "totals": totals}
-        if opts.jobs > 1:
-            report["parallel"] = executor.stats.record()
+                  "experiments": perf, "totals": totals,
+                  "parallel": executor.record()}
         with open(opts.perf_out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -409,11 +486,12 @@ def main(argv: list[str]) -> int:
               f" ({totals['events_per_sec']:,} events/s)"
               f" -> {opts.perf_out}")
         if opts.jobs > 1:
-            stats = executor.stats.record()
+            stats = report["parallel"]
             print(f"pool: {stats['jobs_run']} jobs on {opts.jobs}"
-                  f" workers, speedup {stats['speedup']}x"
-                  f" (efficiency {stats['efficiency']})")
-    parallel.shutdown()
+                  f" workers in {stats['chunks_run']} chunks"
+                  f" ({stats['steals']} steals), speedup"
+                  f" {stats['speedup']}x (efficiency"
+                  f" {stats['efficiency']})")
     if failed:
         print(f"{failed} experiment(s) had failing shape checks")
         return 1

@@ -13,6 +13,10 @@ performance consequence the design argument predicts:
   pipelining to per-column RMC (section 5.3);
 * **interrupt cost** -- how the polling/interrupt latency gap of
   Table 2 scales with the hardware's interrupt overhead.
+
+Every ablation comes in ``submit_*``/``run_*`` form: submission queues
+the sweep on the shared scheduler (so ablations pipeline with every
+other pending experiment) and ``finish()`` assembles the table.
 """
 
 from __future__ import annotations
@@ -22,16 +26,19 @@ from ..machine.config import SP_1998, MachineConfig
 from .bandwidth import lapi_bandwidth_point, mpl_bandwidth_point
 from .ga_putget import ga_transfer_rate
 from .latency import lapi_pingpong_job
-from .parallel import JobSpec, sweep
+from .parallel import Deferred, JobSpec, submit
 from .report import ExperimentResult
 
 __all__ = ["run_ablation_header", "run_ablation_eager",
            "run_ablation_chunk", "run_ablation_hybrid",
-           "run_ablation_interrupt", "run_ablation_noncontig"]
+           "run_ablation_interrupt", "run_ablation_noncontig",
+           "submit_ablation_header", "submit_ablation_eager",
+           "submit_ablation_chunk", "submit_ablation_hybrid",
+           "submit_ablation_interrupt", "submit_ablation_noncontig"]
 
 
-def run_ablation_noncontig(config: MachineConfig = SP_1998
-                           ) -> ExperimentResult:
+def submit_ablation_noncontig(config: MachineConfig = SP_1998
+                              ) -> Deferred:
     """Future work #1: the vector RMC interface vs the 1998 protocols.
 
     Compares strided (2-D) GA transfers under three protocol choices:
@@ -49,11 +56,22 @@ def run_ablation_noncontig(config: MachineConfig = SP_1998
         "vector putv/getv": GA_DEFAULTS.replace(use_vector_rmc=True),
     }
     combos = [(name, n) for name in variants for n in sizes]
-    values = sweep([JobSpec(ga_transfer_rate,
-                            ("lapi", op, "2d", n, config,
-                             variants[name]),
-                            key=("ablation_noncontig", name, op, n))
-                    for name, n in combos for op in ("put", "get")])
+    future = submit([JobSpec(ga_transfer_rate,
+                             ("lapi", op, "2d", n, config,
+                              variants[name]),
+                             key=("ablation_noncontig", name, op, n))
+                     for name, n in combos for op in ("put", "get")])
+    return Deferred(future,
+                    lambda values: _noncontig(values, combos, sizes))
+
+
+def run_ablation_noncontig(config: MachineConfig = SP_1998
+                           ) -> ExperimentResult:
+    return submit_ablation_noncontig(config).finish()
+
+
+def _noncontig(values: list, combos: list,
+               sizes: list) -> ExperimentResult:
     rows = []
     rates: dict[tuple[str, str, int], float] = {}
     for i, (name, n) in enumerate(combos):
@@ -84,18 +102,29 @@ def run_ablation_noncontig(config: MachineConfig = SP_1998
     return result
 
 
-def run_ablation_header(config: MachineConfig = SP_1998
-                        ) -> ExperimentResult:
+def submit_ablation_header(config: MachineConfig = SP_1998
+                           ) -> Deferred:
     """Sweep the LAPI packet header size (future-work item #1)."""
     headers = [16, 32, 48, 96]
     probe_small, probe_large = 4096, 2 * 1024 * 1024
     configs = {hdr: config.replace(lapi_header=hdr)
                for hdr in headers}
-    values = sweep([JobSpec(lapi_bandwidth_point,
-                            (probe, configs[hdr]),
-                            key=("ablation_header", hdr, probe))
-                    for hdr in headers
-                    for probe in (probe_small, probe_large)])
+    future = submit([JobSpec(lapi_bandwidth_point,
+                             (probe, configs[hdr]),
+                             key=("ablation_header", hdr, probe))
+                     for hdr in headers
+                     for probe in (probe_small, probe_large)])
+    return Deferred(future,
+                    lambda values: _header(values, headers, configs))
+
+
+def run_ablation_header(config: MachineConfig = SP_1998
+                        ) -> ExperimentResult:
+    return submit_ablation_header(config).finish()
+
+
+def _header(values: list, headers: list,
+            configs: dict) -> ExperimentResult:
     rows = []
     peaks = {}
     for i, hdr in enumerate(headers):
@@ -120,14 +149,24 @@ def run_ablation_header(config: MachineConfig = SP_1998
     return result
 
 
-def run_ablation_eager(config: MachineConfig = SP_1998
-                       ) -> ExperimentResult:
+def submit_ablation_eager(config: MachineConfig = SP_1998) -> Deferred:
     """Sweep MP_EAGER_LIMIT at a rendezvous-sensitive message size."""
     probe = 8192  # the size where Figure 2's kink is clearest
     limits = [1024, 4096, 8192, 65536]
-    values = sweep([JobSpec(mpl_bandwidth_point, (probe, limit, config),
-                            key=("ablation_eager", limit))
-                    for limit in limits])
+    future = submit([JobSpec(mpl_bandwidth_point,
+                             (probe, limit, config),
+                             key=("ablation_eager", limit))
+                     for limit in limits])
+    return Deferred(future,
+                    lambda values: _eager(values, limits, probe))
+
+
+def run_ablation_eager(config: MachineConfig = SP_1998
+                       ) -> ExperimentResult:
+    return submit_ablation_eager(config).finish()
+
+
+def _eager(values: list, limits: list, probe: int) -> ExperimentResult:
     rows = []
     bws = {}
     for limit, bw in zip(limits, values):
@@ -149,16 +188,24 @@ def run_ablation_eager(config: MachineConfig = SP_1998
     return result
 
 
-def run_ablation_chunk(config: MachineConfig = SP_1998
-                       ) -> ExperimentResult:
+def submit_ablation_chunk(config: MachineConfig = SP_1998) -> Deferred:
     """Sweep GA's AM chunk payload for a medium strided put."""
     probe = 32768  # 64x64 doubles, strided
     caps = [128, 256, 512, None]
-    rates = sweep([JobSpec(ga_transfer_rate,
-                           ("lapi", "put", "2d", probe, config,
-                            GA_DEFAULTS.replace(am_chunk_cap=cap)),
-                           key=("ablation_chunk", cap))
-                   for cap in caps])
+    future = submit([JobSpec(ga_transfer_rate,
+                             ("lapi", "put", "2d", probe, config,
+                              GA_DEFAULTS.replace(am_chunk_cap=cap)),
+                             key=("ablation_chunk", cap))
+                     for cap in caps])
+    return Deferred(future, lambda rates: _chunk(rates, caps, probe))
+
+
+def run_ablation_chunk(config: MachineConfig = SP_1998
+                       ) -> ExperimentResult:
+    return submit_ablation_chunk(config).finish()
+
+
+def _chunk(rates: list, caps: list, probe: int) -> ExperimentResult:
     rows = []
     for cap, rate in zip(caps, rates):
         label = cap if cap is not None else "~900 (1 packet)"
@@ -180,16 +227,27 @@ def run_ablation_chunk(config: MachineConfig = SP_1998
     return result
 
 
-def run_ablation_hybrid(config: MachineConfig = SP_1998
-                        ) -> ExperimentResult:
+def submit_ablation_hybrid(config: MachineConfig = SP_1998
+                           ) -> Deferred:
     """Sweep the strided AM->RMC switch threshold (section 5.3)."""
     probe = 524288  # the paper's 0.5MB switch point
     thresholds = [65536, 262144, 524288, 4 * 1024 * 1024]
-    values = sweep([JobSpec(
+    future = submit([JobSpec(
         ga_transfer_rate,
         ("lapi", "put", "2d", probe, config,
          GA_DEFAULTS.replace(strided_rmc_threshold=thr)),
         key=("ablation_hybrid", thr)) for thr in thresholds])
+    return Deferred(future,
+                    lambda values: _hybrid(values, thresholds, probe))
+
+
+def run_ablation_hybrid(config: MachineConfig = SP_1998
+                        ) -> ExperimentResult:
+    return submit_ablation_hybrid(config).finish()
+
+
+def _hybrid(values: list, thresholds: list,
+            probe: int) -> ExperimentResult:
     rows = []
     rates = {}
     for thr, rate in zip(thresholds, values):
@@ -210,17 +268,26 @@ def run_ablation_hybrid(config: MachineConfig = SP_1998
     return result
 
 
-def run_ablation_interrupt(config: MachineConfig = SP_1998
-                           ) -> ExperimentResult:
+def submit_ablation_interrupt(config: MachineConfig = SP_1998
+                              ) -> Deferred:
     """Sweep the hardware interrupt cost; watch Table 2's gap move."""
     costs = [2.0, 8.0, 14.0, 30.0, 60.0]
-    values = sweep([JobSpec(lapi_pingpong_job,
-                            (config.replace(interrupt_latency=cost),),
-                            {"interrupt_mode": interrupt_mode},
-                            key=("ablation_interrupt", cost,
-                                 interrupt_mode))
-                    for cost in costs
-                    for interrupt_mode in (False, True)])
+    future = submit([JobSpec(lapi_pingpong_job,
+                             (config.replace(interrupt_latency=cost),),
+                             {"interrupt_mode": interrupt_mode},
+                             key=("ablation_interrupt", cost,
+                                  interrupt_mode))
+                     for cost in costs
+                     for interrupt_mode in (False, True)])
+    return Deferred(future, lambda values: _interrupt(values, costs))
+
+
+def run_ablation_interrupt(config: MachineConfig = SP_1998
+                           ) -> ExperimentResult:
+    return submit_ablation_interrupt(config).finish()
+
+
+def _interrupt(values: list, costs: list) -> ExperimentResult:
     rows = []
     gaps = []
     for i, cost in enumerate(costs):

@@ -24,11 +24,11 @@ from ..apps import (ga_matmul, ga_transpose, jacobi_sweeps,
                     md_step_loop, scf_iteration)
 from ..machine.config import SP_1998, MachineConfig
 from .paper import APPS
-from .parallel import JobSpec, sweep
+from .parallel import Deferred, JobSpec, submit
 from .report import ExperimentResult
 from .runner import fresh_cluster
 
-__all__ = ["run_apps", "app_elapsed", "apps_jobs"]
+__all__ = ["run_apps", "submit_apps", "app_elapsed", "apps_jobs"]
 
 
 def _scf_driver(task):
@@ -98,9 +98,17 @@ def apps_jobs(config: MachineConfig = SP_1998) -> list[JobSpec]:
             for backend in ("lapi", "mpl")]
 
 
+def submit_apps(config: MachineConfig = SP_1998) -> Deferred:
+    """Queue every kernel/backend job; ``finish()`` builds the table."""
+    return Deferred(submit(apps_jobs(config)), _apps)
+
+
 def run_apps(config: MachineConfig = SP_1998) -> ExperimentResult:
     """Regenerate the application-improvement comparison."""
-    elapsed = sweep(apps_jobs(config))
+    return submit_apps(config).finish()
+
+
+def _apps(elapsed: list) -> ExperimentResult:
     rows = []
     improvements = []
     for i, name in enumerate(KERNELS):

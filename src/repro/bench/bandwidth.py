@@ -21,14 +21,14 @@ from typing import Optional
 
 from ..machine.config import SP_1998, MachineConfig
 from .paper import FIG2
-from .parallel import JobSpec, sweep
+from .parallel import Deferred, JobSpec, submit, sweep
 from .report import ExperimentResult
 from .runner import SIZE_SWEEP, bandwidth_mbs, fresh_cluster, mean, \
     reps_for_size
 
-__all__ = ["run_fig2", "fig2_jobs", "lapi_bandwidth", "mpl_bandwidth",
-           "lapi_bandwidth_point", "mpl_bandwidth_point",
-           "half_peak_size"]
+__all__ = ["run_fig2", "submit_fig2", "fig2_jobs", "lapi_bandwidth",
+           "mpl_bandwidth", "lapi_bandwidth_point",
+           "mpl_bandwidth_point", "half_peak_size"]
 
 
 def lapi_bandwidth_point(nbytes: int,
@@ -127,11 +127,23 @@ def half_peak_size(sizes, series) -> int:
     return sizes[-1]
 
 
+def submit_fig2(config: MachineConfig = SP_1998,
+                sizes=SIZE_SWEEP) -> Deferred:
+    """Queue Figure 2's sweeps; ``finish()`` builds the result."""
+    sizes = list(sizes)
+    future = submit(fig2_jobs(config, sizes))
+    return Deferred(future,
+                    lambda values: _fig2(values, config, sizes))
+
+
 def run_fig2(config: MachineConfig = SP_1998,
              sizes=SIZE_SWEEP) -> ExperimentResult:
     """Regenerate Figure 2's three bandwidth curves."""
-    sizes = list(sizes)
-    values = sweep(fig2_jobs(config, sizes))
+    return submit_fig2(config, sizes).finish()
+
+
+def _fig2(values: list, config: MachineConfig,
+          sizes: list) -> ExperimentResult:
     k = len(sizes)
     lapi = values[:k]
     mpi_default = values[k:2 * k]

@@ -32,12 +32,12 @@ from typing import Optional
 
 from ..faults import (AckLoss, Corruption, CpuDegrade, CpuPause,
                       FaultSchedule, GilbertElliott, LinkOutage)
-from .parallel import JobSpec, sweep
+from .parallel import Deferred, JobSpec, submit
 from .report import ExperimentResult
 from .runner import bandwidth_mbs, fresh_cluster
 
-__all__ = ["run_chaos", "chaos_jobs", "chaos_point", "chaos_scenarios",
-           "CHAOS_SEED"]
+__all__ = ["run_chaos", "submit_chaos", "chaos_jobs", "chaos_point",
+           "chaos_scenarios", "CHAOS_SEED"]
 
 #: Cluster seed of every chaos scenario (one cluster per scenario, so
 #: a shared seed keeps scenarios comparable without coupling them).
@@ -144,11 +144,21 @@ def chaos_jobs(quick: bool = False) -> list[JobSpec]:
             for name, schedule in chaos_scenarios(quick)]
 
 
+def submit_chaos(quick: bool = False) -> Deferred:
+    """Queue the chaos sweep; ``finish()`` builds the table."""
+    return Deferred(submit(chaos_jobs(quick)),
+                    lambda values: _chaos(values, quick))
+
+
 def run_chaos(quick: bool = False) -> ExperimentResult:
     """Run the chaos sweep and shape-check the degradation curves."""
+    return submit_chaos(quick).finish()
+
+
+def _chaos(values: list, quick: bool) -> ExperimentResult:
     names = [name for name, _ in chaos_scenarios(quick)]
     nmsgs = CHAOS_MSGS_QUICK if quick else CHAOS_MSGS
-    points = dict(zip(names, sweep(chaos_jobs(quick))))
+    points = dict(zip(names, values))
 
     base = points["baseline"]
     base_goodput = bandwidth_mbs(CHAOS_BYTES * nmsgs, base["elapsed"])

@@ -22,12 +22,13 @@ from typing import Optional
 from ..ga.config import GA_DEFAULTS, GaConfig
 from ..machine.config import SP_1998, MachineConfig
 from .paper import GA_LATENCY
-from .parallel import JobSpec, sweep
+from .parallel import Deferred, JobSpec, submit
 from .report import ExperimentResult
 from .runner import bandwidth_mbs, fresh_cluster, mean
 
-__all__ = ["run_fig3", "run_fig4", "run_ga_latency",
-           "ga_transfer_rate", "figure_jobs", "GA_SIZE_SWEEP"]
+__all__ = ["run_fig3", "run_fig4", "run_ga_latency", "submit_fig3",
+           "submit_fig4", "submit_ga_latency", "ga_transfer_rate",
+           "figure_jobs", "GA_SIZE_SWEEP"]
 
 #: Backend/kind series of Figures 3-4, in serial construction order.
 _SERIES = [("lapi", "1d"), ("lapi", "2d"), ("mpl", "1d"),
@@ -118,10 +119,13 @@ def figure_jobs(op: str, config: MachineConfig = SP_1998,
             for backend, kind in _SERIES for n in sizes]
 
 
-def _figure(op: str, config: MachineConfig,
-            sizes) -> ExperimentResult:
+def _submit_figure(op: str, config: MachineConfig, sizes) -> Deferred:
     sizes = list(sizes)
-    values = sweep(figure_jobs(op, config, sizes))
+    future = submit(figure_jobs(op, config, sizes))
+    return Deferred(future, lambda values: _figure(op, values, sizes))
+
+
+def _figure(op: str, values: list, sizes: list) -> ExperimentResult:
     k = len(sizes)
     series = {combo: values[i * k:(i + 1) * k]
               for i, combo in enumerate(_SERIES)}
@@ -171,29 +175,53 @@ def _figure(op: str, config: MachineConfig,
     return result
 
 
+def submit_fig3(config: MachineConfig = SP_1998,
+                sizes=GA_SIZE_SWEEP) -> Deferred:
+    """Queue Figure 3's sweep; ``finish()`` builds the result."""
+    return _submit_figure("put", config, sizes)
+
+
 def run_fig3(config: MachineConfig = SP_1998,
              sizes=GA_SIZE_SWEEP) -> ExperimentResult:
     """Regenerate Figure 3 (GA put)."""
-    return _figure("put", config, sizes)
+    return submit_fig3(config, sizes).finish()
+
+
+def submit_fig4(config: MachineConfig = SP_1998,
+                sizes=GA_SIZE_SWEEP) -> Deferred:
+    """Queue Figure 4's sweep; ``finish()`` builds the result."""
+    return _submit_figure("get", config, sizes)
 
 
 def run_fig4(config: MachineConfig = SP_1998,
              sizes=GA_SIZE_SWEEP) -> ExperimentResult:
     """Regenerate Figure 4 (GA get)."""
-    return _figure("get", config, sizes)
+    return submit_fig4(config, sizes).finish()
+
+
+#: (op, backend) combinations of the latency table, in row order.
+_LAT_COMBOS = [(op, backend) for op in ("get", "put")
+               for backend in ("lapi", "mpl")]
+
+
+def submit_ga_latency(config: MachineConfig = SP_1998) -> Deferred:
+    """Queue the single-element jobs; ``finish()`` builds the table."""
+    future = submit([JobSpec(ga_transfer_rate,
+                             (backend, op, "1d", 8, config),
+                             key=("ga_lat", op, backend))
+                     for op, backend in _LAT_COMBOS])
+    return Deferred(future, _ga_latency)
 
 
 def run_ga_latency(config: MachineConfig = SP_1998
                    ) -> ExperimentResult:
     """Regenerate the section 5.4 single-element latency numbers."""
-    combos = [(op, backend) for op in ("get", "put")
-              for backend in ("lapi", "mpl")]
-    rates = sweep([JobSpec(ga_transfer_rate,
-                           (backend, op, "1d", 8, config),
-                           key=("ga_lat", op, backend))
-                   for op, backend in combos])
+    return submit_ga_latency(config).finish()
+
+
+def _ga_latency(rates: list) -> ExperimentResult:
     measured = {combo: 8.0 / rate  # us per element
-                for combo, rate in zip(combos, rates)}
+                for combo, rate in zip(_LAT_COMBOS, rates)}
     result = ExperimentResult(
         experiment="ga_lat",
         title="GA single-element (8-byte) latency [us]",

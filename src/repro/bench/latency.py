@@ -22,13 +22,14 @@ from typing import Generator
 
 from ..machine.config import SP_1998, MachineConfig
 from .paper import PIPELINE, TABLE2
-from .parallel import JobSpec, sweep
+from .parallel import Deferred, JobSpec, submit
 from .report import ExperimentResult
 from .runner import fresh_cluster, mean
 
-__all__ = ["run_table2", "run_pipeline_latency", "lapi_pingpong",
-           "mpl_pingpong", "lapi_pingpong_job", "mpl_pingpong_job",
-           "table2_jobs", "pipeline_latency_job"]
+__all__ = ["run_table2", "submit_table2", "run_pipeline_latency",
+           "submit_pipeline_latency", "lapi_pingpong", "mpl_pingpong",
+           "lapi_pingpong_job", "mpl_pingpong_job", "table2_jobs",
+           "pipeline_latency_job"]
 
 #: Ping-pong repetitions (first is treated as warm-up).
 REPS = 12
@@ -149,10 +150,19 @@ def table2_jobs(config: MachineConfig = SP_1998) -> list[JobSpec]:
     ]
 
 
+def submit_table2(config: MachineConfig = SP_1998) -> Deferred:
+    """Queue Table 2's measurements; ``finish()`` builds the table."""
+    return Deferred(submit(table2_jobs(config)), _table2)
+
+
 def run_table2(config: MachineConfig = SP_1998) -> ExperimentResult:
     """Regenerate Table 2: LAPI vs MPI/MPL latency."""
+    return submit_table2(config).finish()
+
+
+def _table2(values: list) -> ExperimentResult:
     ((lapi_ow, lapi_rt), (_, lapi_irt),
-     (mpl_ow, mpl_rt), (_, mpl_irt)) = sweep(table2_jobs(config))
+     (mpl_ow, mpl_rt), (_, mpl_irt)) = values
 
     result = ExperimentResult(
         experiment="table2",
@@ -215,12 +225,22 @@ def pipeline_latency_job(config: MachineConfig = SP_1998):
     return records["put"], records["get"]
 
 
+def submit_pipeline_latency(config: MachineConfig = SP_1998
+                            ) -> Deferred:
+    """Queue the pipeline-latency job; ``finish()`` builds the table."""
+    future = submit([JobSpec(pipeline_latency_job, (config,),
+                             key=("pipeline", "lapi"))])
+    return Deferred(future, _pipeline_latency)
+
+
 def run_pipeline_latency(config: MachineConfig = SP_1998
                          ) -> ExperimentResult:
     """Regenerate the section-4 pipeline-latency numbers."""
-    [(put_us, get_us)] = sweep([
-        JobSpec(pipeline_latency_job, (config,),
-                key=("pipeline", "lapi"))])
+    return submit_pipeline_latency(config).finish()
+
+
+def _pipeline_latency(values: list) -> ExperimentResult:
+    [(put_us, get_us)] = values
     result = ExperimentResult(
         experiment="pipeline",
         title="Pipeline latency: non-blocking call return time [us]",

@@ -26,7 +26,8 @@ __all__ = ["fresh_cluster", "mean", "reps_for_size", "SIZE_SWEEP",
            "bandwidth_mbs", "configure_observability",
            "captured_clusters", "ClusterCapture", "capture_cluster",
            "record_captures", "drain_captures",
-           "observability_kwargs"]
+           "observability_kwargs", "live_cluster_index",
+           "events_since"]
 
 #: Message-size sweep of Figure 2 (16 bytes to 2 MB).
 SIZE_SWEEP = [16, 64, 256, 1024, 4096, 8192, 16384, 32768, 65536,
@@ -85,6 +86,23 @@ def captured_clusters() -> list[Cluster]:
     clusters = _OBS.clusters
     _OBS.clusters = []
     return clusters
+
+
+def live_cluster_index() -> int:
+    """Watermark into the live-cluster capture list (see
+    :func:`events_since`)."""
+    return len(_OBS.clusters)
+
+
+def events_since(index: int) -> int:
+    """Kernel events of live clusters captured past ``index``.
+
+    Lets the serial sweep path attribute per-job event counts (for the
+    cost model and pool stats) without draining the capture list out
+    from under the experiment that owns it.  Zero when capture is
+    disarmed -- the jobs still ran, we just were not counting.
+    """
+    return sum(c.sim.events_processed for c in _OBS.clusters[index:])
 
 
 @dataclass

@@ -30,16 +30,17 @@ from __future__ import annotations
 
 import gc
 import os
+import sys
 import time
 
 from ..machine.config import SP_1998, MachineConfig
-from .parallel import JobSpec, spread_seed, sweep
+from .parallel import Deferred, JobSpec, spread_seed, submit
 from .report import ExperimentResult
 from .runner import fresh_cluster
 
-__all__ = ["run_scale", "scale_jobs", "scale_point", "scale_config",
-           "SCALE_SIZES", "SCALE_QUICK_SIZES", "SCALE_TOPOLOGIES",
-           "SCALE_SEED"]
+__all__ = ["run_scale", "submit_scale", "scale_jobs", "scale_point",
+           "scale_config", "SCALE_SIZES", "SCALE_QUICK_SIZES",
+           "SCALE_TOPOLOGIES", "SCALE_SEED"]
 
 #: Node counts of the full sweep and the ``--perf-quick`` (CI) sweep.
 SCALE_SIZES = [512, 1024, 2048, 4096]
@@ -99,7 +100,9 @@ def _current_rss_mb() -> float:
         return pages * os.sysconf("SC_PAGE_SIZE") / 1e6
     except (OSError, ValueError, IndexError):
         import resource
-        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1e3
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KB on Linux but bytes on macOS (getrusage(2)).
+        return rss / (1e6 if sys.platform == "darwin" else 1e3)
 
 
 def scale_point(nnodes: int, topology: str, seed: int) -> dict:
@@ -156,11 +159,21 @@ def scale_jobs(sizes=None) -> list[JobSpec]:
     return specs
 
 
-def run_scale(quick: bool = False, sizes=None) -> ExperimentResult:
-    """Run the scale sweep and check its invariants."""
+def submit_scale(quick: bool = False, sizes=None) -> Deferred:
+    """Queue the scale sweep; ``finish()`` builds the result."""
     if sizes is None:
         sizes = SCALE_QUICK_SIZES if quick else SCALE_SIZES
-    records = sweep(scale_jobs(sizes))
+    sizes = list(sizes)
+    future = submit(scale_jobs(sizes))
+    return Deferred(future, lambda records: _scale(records, sizes))
+
+
+def run_scale(quick: bool = False, sizes=None) -> ExperimentResult:
+    """Run the scale sweep and check its invariants."""
+    return submit_scale(quick, sizes).finish()
+
+
+def _scale(records: list, sizes: list) -> ExperimentResult:
     rows = []
     for r in records:
         rows.append([r["topology"], r["nodes"], r["virtual_us"],

@@ -27,12 +27,12 @@ from __future__ import annotations
 import math
 
 from ..machine.config import SP_1998, MachineConfig
-from .parallel import JobSpec, spread_seed, sweep
+from .parallel import Deferred, JobSpec, spread_seed, submit
 from .report import ExperimentResult
 from .runner import fresh_cluster, mean
 
-__all__ = ["run_scaling", "scaling_jobs", "gfence_latency",
-           "alltoall_aggregate", "SCALING_SEED"]
+__all__ = ["run_scaling", "submit_scaling", "scaling_jobs",
+           "gfence_latency", "alltoall_aggregate", "SCALING_SEED"]
 
 NODE_COUNTS = [2, 4, 8, 16]
 
@@ -111,9 +111,18 @@ def scaling_jobs(config: MachineConfig = SP_1998) -> list[JobSpec]:
     return specs
 
 
+def submit_scaling(config: MachineConfig = SP_1998) -> Deferred:
+    """Queue the scaling sweep; ``finish()`` builds the table."""
+    return Deferred(submit(scaling_jobs(config)),
+                    lambda values: _scaling(values, config))
+
+
 def run_scaling(config: MachineConfig = SP_1998) -> ExperimentResult:
     """Regenerate the supplemental scaling table."""
-    values = sweep(scaling_jobs(config))
+    return submit_scaling(config).finish()
+
+
+def _scaling(values: list, config: MachineConfig) -> ExperimentResult:
     rows = []
     barrier = {}
     aggregate = {}

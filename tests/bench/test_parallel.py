@@ -107,9 +107,21 @@ class TestExecutor:
         assert stats["jobs_run"] == 5
         assert stats["sweeps"] == 1
 
-    def test_single_spec_runs_inline(self):
+    def test_single_spec_uses_pool(self):
+        # Even one-spec sweeps go through the pool when jobs>1: under
+        # pipelined submission an inline run would interleave its live
+        # captures with other sweeps' worker-shipped ones.
         ex = SweepExecutor(jobs=4)
-        assert ex.map([JobSpec(_add, (1, 2))]) == [3]
+        try:
+            assert ex.map([JobSpec(_add, (1, 2))]) == [3]
+            assert ex._pool is not None
+        finally:
+            ex.shutdown()
+
+    def test_serial_scheduler_never_forks(self):
+        ex = SweepExecutor(jobs=1)
+        assert ex.map([JobSpec(_add, (1, 2)),
+                       JobSpec(_add, (3, 4))]) == [3, 7]
         assert ex._pool is None  # never forked
 
     def test_worker_exception_propagates(self):

