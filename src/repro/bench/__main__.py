@@ -28,6 +28,25 @@ Observability flags (see ``docs/observability.md``):
     https://ui.perfetto.dev (``.gz`` supported): one track per node,
     flow arrows for every wire hop.
 
+Virtual-time telemetry (see ``docs/observability.md``):
+
+``--slo``
+    Arm the windowed telemetry pipeline with the default SLO rule set
+    (goodput floor, retransmission-rate ceiling, ack-RTT p99 target)
+    and print each experiment's burn-rate alert log.  Purely
+    observational: virtual-time results are byte-identical with the
+    flag on or off.
+``--timeline-out FILE``
+    Arm the windowed telemetry pipeline and write every cluster's
+    per-window series (counter deltas, gauge values, latency sketches)
+    and SLO alerts as deterministic JSONL -- byte-identical between
+    ``--jobs 1`` and ``--jobs N``.
+``--flight-out FILE``
+    Write every flight-recorder black-box dump (SLO pages, engaged
+    fault clauses, unreachable peers) as deterministic JSONL.
+``--window-us F``
+    Timeline window width in virtual microseconds (default 100).
+
 Parallelism (see ``docs/performance.md``):
 
 ``--jobs N`` / ``--jobs auto``
@@ -110,7 +129,7 @@ from .scale import submit_scale
 from .table1 import run_table1
 from ..obs import (merge_pool_stats, render_critical_path,
                    render_decomposition, write_chrome_trace,
-                   write_trace_jsonl)
+                   write_flight_jsonl, write_trace_jsonl)
 
 #: Reduced sweeps for ``--perf-quick``.  Chosen so every shape check of
 #: the full sweep still resolves: fig2 keeps the half-peak crossover
@@ -230,6 +249,19 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--decompose", action="store_true",
                         help="print a Table-1-style per-phase latency"
                              " decomposition per experiment")
+    parser.add_argument("--slo", action="store_true",
+                        help="arm windowed telemetry with the default"
+                             " SLO rules and print burn-rate alerts")
+    parser.add_argument("--timeline-out", metavar="FILE", default=None,
+                        help="write per-window telemetry series and SLO"
+                             " alerts as deterministic JSONL")
+    parser.add_argument("--flight-out", metavar="FILE", default=None,
+                        help="write flight-recorder black-box dumps as"
+                             " deterministic JSONL")
+    parser.add_argument("--window-us", type=float, default=None,
+                        metavar="F",
+                        help="telemetry window width in virtual"
+                             " microseconds (default: 100)")
     parser.add_argument("--perf", action="store_true",
                         help="measure wall time / events per second and"
                              " write a JSON report")
@@ -280,13 +312,23 @@ def main(argv: list[str]) -> int:
 
     spans_on = (opts.spans or opts.spans_out is not None
                 or opts.decompose)
+    telemetry_on = (opts.slo or opts.timeline_out is not None
+                    or opts.flight_out is not None)
+    telemetry_cfg = None
+    if telemetry_on:
+        from ..obs import TelemetryConfig, default_rules
+        kwargs = {"slo": default_rules() if opts.slo else ()}
+        if opts.window_us is not None:
+            kwargs["window_us"] = opts.window_us
+        telemetry_cfg = TelemetryConfig(**kwargs)
     observing = (opts.metrics or opts.trace_out is not None or opts.perf
-                 or spans_on)
+                 or spans_on or telemetry_on)
     if observing:
         runner.configure_observability(metrics=opts.metrics,
                                        trace=opts.trace_out is not None,
                                        capture=opts.perf,
-                                       spans=spans_on)
+                                       spans=spans_on,
+                                       telemetry=telemetry_cfg)
     # Observability must be armed before the first parallel sweep so
     # pool workers inherit the flags at initializer time.  The cost
     # cache persists across invocations: the second run schedules with
@@ -310,6 +352,52 @@ def main(argv: list[str]) -> int:
         parallel.shutdown()
 
 
+def _render_slo(name: str, captures) -> str:
+    """The ``--slo`` alert block of one experiment: every burn-rate
+    state transition of every armed cluster, in deterministic order."""
+    lines = []
+    for i, c in enumerate(captures):
+        if c.telemetry is None:
+            continue
+        for alert in c.telemetry["alerts"]:
+            lines.append(
+                f"  cluster #{i} t={alert['t_us']}us"
+                f" window={alert['window']}"
+                f" {alert['event'].upper()} {alert['rule']}"
+                f" (burn short={alert['short_burn']}"
+                f" long={alert['long_burn']})")
+    pages = sum(1 for line in lines if " PAGE " in line)
+    header = (f"-- slo: {name}: {len(lines)} alert transition(s),"
+              f" {pages} page(s) --")
+    return header + ("\n" + "\n".join(lines) if lines else "")
+
+
+def _write_timeline(telemetry_records, path: str) -> int:
+    """Write ``--timeline-out``: one JSONL line per series and per SLO
+    alert, tagged with experiment and cluster index.  Sorted keys and
+    fixed separators -- byte-comparable between ``--jobs`` modes."""
+    nlines = 0
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        for name, idx, snap in telemetry_records:
+            timeline = snap["timeline"]
+            for series in timeline["series"]:
+                row = {"experiment": name, "cluster": idx,
+                       "record": "series",
+                       "window_us": timeline["window_us"]}
+                row.update(series)
+                fh.write(json.dumps(row, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+                nlines += 1
+            for alert in snap["alerts"]:
+                row = {"experiment": name, "cluster": idx,
+                       "record": "alert"}
+                row.update(alert)
+                fh.write(json.dumps(row, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+                nlines += 1
+    return nlines
+
+
 def _run(opts, names: list[str], submitters: dict, executor,
          observing: bool, spans_on: bool, pipelined: bool) -> int:
     failed = 0
@@ -320,6 +408,12 @@ def _run(opts, names: list[str], submitters: dict, executor,
     scale_payload = None
     span_streams: list[list[dict]] = []
     pool_blocks: list = []
+    #: (experiment, cluster index, TelemetryRuntime.snapshot()) of
+    #: every armed cluster, in submission order -- the deterministic
+    #: source of --timeline-out / --flight-out / --slo output.
+    telemetry_records: list[tuple] = []
+    telemetry_out = (opts.slo or opts.timeline_out is not None
+                     or opts.flight_out is not None)
     # Under --perf each experiment runs PERF_REPS times: the wall
     # number is the median rep (single-shot walls are hostage to host
     # noise) and the virtual observables are asserted byte-identical
@@ -363,7 +457,15 @@ def _run(opts, names: list[str], submitters: dict, executor,
         if name == "scale":
             scale_payload = getattr(result, "payload", None)
         decomposition = None
+        slo_block = None
         if observing:
+            if telemetry_out:
+                telemetry_records.extend(
+                    (name, i, c.telemetry)
+                    for i, c in enumerate(captures)
+                    if c.telemetry is not None)
+                if opts.slo:
+                    slo_block = _render_slo(name, captures)
             if opts.metrics:
                 result.metrics_blocks = [
                     f"-- metrics: {name} cluster #{i}"
@@ -395,6 +497,9 @@ def _run(opts, names: list[str], submitters: dict, executor,
         if decomposition is not None:
             print()
             print(decomposition)
+        if slo_block is not None:
+            print()
+            print(slo_block)
         print(f"(regenerated in {wall:.1f}s"
               f" {'cpu' if pipelined else 'wall'} time)")
         print()
@@ -409,6 +514,15 @@ def _run(opts, names: list[str], submitters: dict, executor,
         nspans = sum(len(s) for s in span_streams)
         print(f"wrote {nevents} trace events ({nspans} spans,"
               f" {len(span_streams)} clusters) to {opts.spans_out}")
+    if opts.timeline_out is not None:
+        nlines = _write_timeline(telemetry_records, opts.timeline_out)
+        print(f"wrote {nlines} timeline records to {opts.timeline_out}")
+    if opts.flight_out is not None:
+        dumps = [{"experiment": name, "cluster": idx, **dump}
+                 for name, idx, snap in telemetry_records
+                 for dump in snap["flight"]]
+        ndumps = write_flight_jsonl(dumps, opts.flight_out)
+        print(f"wrote {ndumps} flight dumps to {opts.flight_out}")
     if "scale" in names:
         # Sorted keys; wall seconds and RSS are host facts and vary,
         # but every virtual-time field (virtual_us, events, packet

@@ -28,16 +28,19 @@ fixed-timeout fault-free path.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from ..faults import (AckLoss, Corruption, CpuDegrade, CpuPause,
                       FaultSchedule, GilbertElliott, LinkOutage)
+from ..obs import TelemetryConfig
 from .parallel import Deferred, JobSpec, submit
 from .report import ExperimentResult
-from .runner import bandwidth_mbs, fresh_cluster
+from .runner import armed_telemetry, bandwidth_mbs, fresh_cluster
 
 __all__ = ["run_chaos", "submit_chaos", "chaos_jobs", "chaos_point",
-           "chaos_scenarios", "CHAOS_SEED"]
+           "chaos_scenarios", "degradation_pct", "CHAOS_SEED",
+           "CHAOS_WINDOW_US"]
 
 #: Cluster seed of every chaos scenario (one cluster per scenario, so
 #: a shared seed keeps scenarios comparable without coupling them).
@@ -48,6 +51,17 @@ CHAOS_BYTES = 4096
 CHAOS_MSGS = 24
 #: Reduced message count for ``--perf-quick`` (the CI smoke sweep).
 CHAOS_MSGS_QUICK = 10
+
+#: Timeline window of the chaos recovery curves, in virtual
+#: microseconds.  Fixed here -- not taken from ``--window-us`` -- so a
+#: scenario's ``goodput_windows`` series is a pure function of
+#: (nbytes, nmsgs, schedule, seed) and the ``--faults-out`` file is
+#: byte-identical with or without the telemetry CLI flags.
+CHAOS_WINDOW_US = 250.0
+
+#: A goodput window counts as *impaired* below this fraction of the
+#: baseline's median per-window goodput (see :func:`_recovered_us`).
+IMPAIRED_FRACTION = 0.5
 
 
 def chaos_scenarios(quick: bool = False) -> list[tuple[str,
@@ -123,7 +137,17 @@ def chaos_point(nbytes: int, nmsgs: int,
         if task.rank == 1:
             records["intact"] = mem.read(buf, nbytes) == payload
 
-    cluster = fresh_cluster(2, seed=seed, faults=schedule)
+    # Chaos always arms its own telemetry (fixed CHAOS_WINDOW_US, no
+    # rules): the per-window goodput curve IS the scenario's recovery
+    # record.  When the CLI armed SLO rules (--slo), they are grafted
+    # on so chaos clusters page too -- rule evaluation is passive, so
+    # the records below are identical either way.
+    tcfg = TelemetryConfig(window_us=CHAOS_WINDOW_US)
+    armed = armed_telemetry()
+    if armed is not None and armed.slo:
+        tcfg = dataclasses.replace(tcfg, slo=armed.slo)
+    cluster = fresh_cluster(2, seed=seed, faults=schedule,
+                            telemetry=tcfg)
     cluster.run_job(main, stacks=("lapi",), interrupt_mode=False,
                     until=2_000_000.0)
     faults = cluster.faults
@@ -132,6 +156,25 @@ def chaos_point(nbytes: int, nmsgs: int,
         else faults.ge_drops + faults.outage_drops + faults.ack_drops)
     records["crc_drops"] = 0 if faults is None else faults.crc_drops
     records["virtual_us"] = round(cluster.sim.now, 6)
+    # Time-resolved goodput: fresh payload bytes delivered per window,
+    # summed across both ranks' transports (rank 1 receives the puts,
+    # rank 0 receives fence traffic).  Gap windows (no deliveries) are
+    # simply absent -- consumers treat missing as zero.
+    timeline = cluster.telemetry.timeline
+    timeline.finalize()
+    per_window: dict[int, int] = {}
+    for rank in (0, 1):
+        for w, delta in timeline.counter_windows(
+                "telemetry.transport", "rx_payload_bytes", node=rank):
+            per_window[w] = per_window.get(w, 0) + delta
+    records["window_us"] = CHAOS_WINDOW_US
+    records["goodput_windows"] = [[w, per_window[w]]
+                                  for w in sorted(per_window)]
+    #: Virtual time the first fault engaged (first drop/CRC discard);
+    #: None for the baseline and for schedules that never fired.
+    first = None if faults is None else faults.first_fault_us
+    records["detection_us"] = (None if first is None
+                               else round(first, 3))
     return records
 
 
@@ -155,6 +198,49 @@ def run_chaos(quick: bool = False) -> ExperimentResult:
     return submit_chaos(quick).finish()
 
 
+def degradation_pct(goodput: float, base_goodput: float) -> float:
+    """Goodput degradation vs baseline, in percent, rounded to 0.1.
+
+    Clamped at zero: float dust can put a scenario's goodput a hair
+    *above* the baseline's, and ``round(-0.04, 1)`` renders as the
+    nonsensical ``-0.0`` -- a healthy scenario reads ``0.0``.
+    """
+    raw = 100.0 * (1.0 - goodput / base_goodput)
+    return round(raw, 1) if raw > 0.0 else 0.0
+
+
+def _median_window_goodput(rec: dict) -> float:
+    """Median per-window delivered bytes of one scenario's curve."""
+    deltas = sorted(d for _, d in rec["goodput_windows"] if d > 0)
+    if not deltas:
+        return 0.0
+    mid = len(deltas) // 2
+    if len(deltas) % 2:
+        return float(deltas[mid])
+    return (deltas[mid - 1] + deltas[mid]) / 2.0
+
+
+def _recovered_us(rec: dict, threshold: float) -> Optional[float]:
+    """Virtual time the scenario's goodput recovered, or None.
+
+    A window between the curve's first and last *active* windows is
+    impaired when it delivers less than ``threshold`` bytes (absent
+    windows delivered nothing -- exactly what an outage looks like).
+    Recovery is the end of the last impaired window: from then on the
+    curve holds baseline-grade goodput through the end of the run.
+    None when no window was impaired (nothing to recover from).
+    """
+    per_window = {w: d for w, d in rec["goodput_windows"]}
+    active = [w for w, d in per_window.items() if d > 0]
+    if not active or threshold <= 0.0:
+        return None
+    impaired = [w for w in range(min(active), max(active) + 1)
+                if per_window.get(w, 0) < threshold]
+    if not impaired:
+        return None
+    return round((max(impaired) + 1) * rec["window_us"], 3)
+
+
 def _chaos(values: list, quick: bool) -> ExperimentResult:
     names = [name for name, _ in chaos_scenarios(quick)]
     nmsgs = CHAOS_MSGS_QUICK if quick else CHAOS_MSGS
@@ -162,17 +248,27 @@ def _chaos(values: list, quick: bool) -> ExperimentResult:
 
     base = points["baseline"]
     base_goodput = bandwidth_mbs(CHAOS_BYTES * nmsgs, base["elapsed"])
+    #: Impairment threshold for the recovery curves: half the
+    #: baseline's median per-window delivered bytes.
+    threshold = IMPAIRED_FRACTION * _median_window_goodput(base)
     rows = []
     for name in names:
         rec = points[name]
         goodput = bandwidth_mbs(CHAOS_BYTES * nmsgs, rec["elapsed"])
-        degradation = 100.0 * (1.0 - goodput / base_goodput)
         # Whole-run virtual time, not just the put loop: background
         # retransmissions drain after the sender's last completion.
         recovery = rec["virtual_us"] - base["virtual_us"]
+        rec["recovered_us"] = (None if name == "baseline"
+                               else _recovered_us(rec, threshold))
+        detect = rec["detection_us"]
+        recovered = rec["recovered_us"]
         rows.append([
-            name, round(goodput, 2), round(degradation, 1),
-            round(recovery, 1), rec["retransmissions"],
+            name, round(goodput, 2),
+            degradation_pct(goodput, base_goodput),
+            round(recovery, 1),
+            "-" if detect is None else round(detect, 1),
+            "-" if recovered is None else round(recovered, 1),
+            rec["retransmissions"],
             rec["fault_drops"] + rec["crc_drops"],
             "yes" if rec["intact"] else "NO",
         ])
@@ -182,7 +278,8 @@ def _chaos(values: list, quick: bool) -> ExperimentResult:
         title="Chaos bench: goodput degradation and recovery under"
               " injected faults",
         headers=["scenario", "goodput MB/s", "degraded %",
-                 "recovery us", "retx", "drops", "intact"],
+                 "recovery us", "detect us", "recovered us",
+                 "retx", "drops", "intact"],
         rows=rows)
     result.notes.append(
         f"workload: {nmsgs} x {CHAOS_BYTES}B LAPI puts (completion-"
@@ -219,6 +316,30 @@ def _chaos(values: list, quick: bool) -> ExperimentResult:
         result.check("ack loss exercises Karn's rule"
                      " (ambiguous RTT samples skipped)",
                      ack["karn_skips"] > 0, str(ack["karn_skips"]))
+    result.check("every scenario emits a time-resolved goodput curve",
+                 all(points[n]["goodput_windows"] for n in names))
+    # The recovery curves must carry virtual timestamps: every fault
+    # scenario that dropped/corrupted traffic records when the first
+    # fault engaged, and the bursty-loss and link-outage scenarios --
+    # whose curves visibly dip below baseline goodput -- record when
+    # per-window goodput came back, after detection.
+    engaged = [n for n in names if n != "baseline"
+               and points[n]["fault_drops"] + points[n]["crc_drops"] > 0]
+    result.check("engaged fault scenarios carry a detection timestamp",
+                 all(points[n]["detection_us"] is not None
+                     for n in engaged))
+    curved = [n for n in ("burst", "outage_short", "outage_long")
+              if n in points]
+    result.check("burst/outage curves resolve recovery after detection",
+                 all(points[n]["recovered_us"] is not None
+                     and points[n]["detection_us"] is not None
+                     and points[n]["recovered_us"]
+                     > points[n]["detection_us"]
+                     for n in curved),
+                 ", ".join(
+                     f"{n}: {points[n]['detection_us']}"
+                     f"->{points[n]['recovered_us']}us"
+                     for n in curved))
     #: Raw per-scenario records (including exact virtual times), used
     #: by ``--faults-out`` so CI can diff determinism byte-for-byte.
     result.payload = {name: points[name] for name in names}

@@ -26,8 +26,8 @@ __all__ = ["fresh_cluster", "mean", "reps_for_size", "SIZE_SWEEP",
            "bandwidth_mbs", "configure_observability",
            "captured_clusters", "ClusterCapture", "capture_cluster",
            "record_captures", "drain_captures",
-           "observability_kwargs", "live_cluster_index",
-           "events_since"]
+           "observability_kwargs", "armed_telemetry",
+           "live_cluster_index", "events_since"]
 
 #: Message-size sweep of Figure 2 (16 bytes to 2 MB).
 SIZE_SWEEP = [16, 64, 256, 1024, 4096, 8192, 16384, 32768, 65536,
@@ -45,6 +45,11 @@ class _Observability:
         self.capture = False
         #: Arm causal span tracing (``--spans``/``--decompose``).
         self.spans = False
+        #: Armed :class:`repro.obs.TelemetryConfig` (``--slo`` /
+        #: ``--timeline-out``), or None.  Frozen and picklable, so
+        #: :func:`observability_kwargs` ships it to sweep workers
+        #: verbatim and every worker arms the parent's exact config.
+        self.telemetry = None
         self.trace_limit = 250_000
         self.trace_categories: Optional[Sequence[str]] = None
         self.clusters: list[Cluster] = []
@@ -58,6 +63,7 @@ _OBS = _Observability()
 
 def configure_observability(*, metrics: bool = False, trace: bool = False,
                             capture: bool = False, spans: bool = False,
+                            telemetry=None,
                             trace_limit: int = 250_000,
                             trace_categories: Optional[Sequence[str]]
                             = None) -> None:
@@ -66,6 +72,7 @@ def configure_observability(*, metrics: bool = False, trace: bool = False,
     _OBS.trace = trace
     _OBS.capture = capture
     _OBS.spans = spans
+    _OBS.telemetry = telemetry
     _OBS.trace_limit = trace_limit
     _OBS.trace_categories = trace_categories
     _OBS.clusters = []
@@ -77,8 +84,19 @@ def observability_kwargs() -> dict:
     keyword form -- what the sweep engine replays in each worker."""
     return {"metrics": _OBS.collect_metrics, "trace": _OBS.trace,
             "capture": _OBS.capture, "spans": _OBS.spans,
+            "telemetry": _OBS.telemetry,
             "trace_limit": _OBS.trace_limit,
             "trace_categories": _OBS.trace_categories}
+
+
+def armed_telemetry():
+    """The CLI-armed :class:`repro.obs.TelemetryConfig`, or None.
+
+    The chaos bench reads this to graft the armed SLO rules onto its
+    own always-on telemetry config (its recovery curves use a fixed
+    window so the ``--faults-out`` records are identical with or
+    without ``--slo``)."""
+    return _OBS.telemetry
 
 
 def captured_clusters() -> list[Cluster]:
@@ -129,6 +147,11 @@ class ClusterCapture:
     #: Hot-path pool counters (:func:`repro.obs.pool_stats`), captured
     #: only under ``--perf``; merged into BENCH_PERF's ``pools`` block.
     pools: Optional[dict] = None
+    #: Telemetry snapshot (``TelemetryRuntime.snapshot()``: windowed
+    #: series, SLO alert log, flight dumps) when the cluster was armed.
+    #: Plain nested dicts in deterministic order, so worker-shipped and
+    #: in-process captures serialize byte-identically.
+    telemetry: Optional[dict] = None
 
 
 def capture_cluster(cluster: Cluster) -> ClusterCapture:
@@ -140,10 +163,13 @@ def capture_cluster(cluster: Cluster) -> ClusterCapture:
     spans = (cluster.spans.span_dicts()
              if cluster.spans is not None else [])
     pools = pool_stats(cluster) if _OBS.capture else None
+    telemetry = (cluster.telemetry.snapshot()
+                 if cluster.telemetry is not None else None)
     return ClusterCapture(nnodes=cluster.nnodes, now=cluster.sim.now,
                           events=cluster.sim.events_processed,
                           metrics_block=metrics_block, trace=trace,
-                          spans=spans, pools=pools)
+                          spans=spans, pools=pools,
+                          telemetry=telemetry)
 
 
 def record_captures(captures: Sequence[ClusterCapture]) -> None:
@@ -168,19 +194,27 @@ def drain_captures() -> list[ClusterCapture]:
 
 
 def fresh_cluster(nnodes: int = 2, config: MachineConfig = SP_1998,
-                  seed: int = 0xBE1, faults=None) -> Cluster:
+                  seed: int = 0xBE1, faults=None,
+                  telemetry=None) -> Cluster:
     """A new cluster per measurement: no cross-experiment state.
 
     ``faults`` is an optional :class:`repro.faults.FaultSchedule`
     installed at construction time (the chaos bench's entry point).
+    ``telemetry`` overrides the armed
+    :class:`repro.obs.TelemetryConfig` for this cluster (the chaos
+    bench always arms its own); None falls back to whatever the CLI
+    armed, usually nothing.
     """
     trace = Tracer(categories=_OBS.trace_categories,
                    limit=_OBS.trace_limit) if _OBS.trace else None
     spans = SpanRecorder() if _OBS.spans else None
+    if telemetry is None:
+        telemetry = _OBS.telemetry
     cluster = Cluster(nnodes=nnodes, config=config, seed=seed,
-                      trace=trace, spans=spans, faults=faults)
+                      trace=trace, spans=spans, faults=faults,
+                      telemetry=telemetry)
     if (_OBS.collect_metrics or _OBS.trace or _OBS.capture
-            or _OBS.spans):
+            or _OBS.spans or telemetry is not None):
         _OBS.clusters.append(cluster)
     return cluster
 

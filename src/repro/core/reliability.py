@@ -197,6 +197,16 @@ class ReliableTransport:
         #: virtual-time gap between a packet's (latest) injection and
         #: its acknowledgement.  Installed by the owning stack.
         self.ack_rtt = None
+        #: Optional timeline counter streams
+        #: (:mod:`repro.obs.timeline`), installed by the owning stack
+        #: when cluster telemetry is armed: fresh (first-delivery)
+        #: payload bytes and packets received, and retransmissions --
+        #: the per-window goodput/retransmit curves the chaos bench and
+        #: the SLO goodput floor read.  Disarmed, each hot path pays a
+        #: single ``is None`` test.
+        self.rx_goodput_bytes = None
+        self.rx_goodput_packets = None
+        self.retx_stream = None
 
     # ------------------------------------------------------------------
     def _peer_tx(self, peer: int) -> _PeerTx:
@@ -327,6 +337,13 @@ class ReliableTransport:
             st.attempts[seq] = tries
             self.retransmissions += 1
             retransmitted_any = True
+            if self.retx_stream is not None:
+                self.retx_stream.add(1)
+            flight = self.sim.flight
+            if flight is not None:
+                flight.note(self.adapter.node_id, "core.reliability",
+                            "retransmit", peer=peer, pkt_seq=seq,
+                            tries=tries, kind=str(pkt.kind))
             if (self.adaptive and st.health == HEALTHY
                     and tries >= self.degraded_after):
                 st.health = DEGRADED
@@ -375,6 +392,15 @@ class ReliableTransport:
         err.node = self.adapter.node_id
         err.peer = peer
         err.attempts = tries - 1
+        flight = self.sim.flight
+        if flight is not None:
+            # Black-box dump before the error routes anywhere: the ring
+            # holds the retransmit history that led here.
+            flight.trigger(
+                "peer-unreachable",
+                key=("peer", self.proto, self.adapter.node_id, peer),
+                proto=self.proto, node=self.adapter.node_id, peer=peer,
+                attempts=tries - 1)
         if self.on_fatal is not None:
             self.on_fatal(err)
         else:
@@ -409,6 +435,13 @@ class ReliableTransport:
         fresh = self._peer_rx(packet.src).fresh(packet.seq)
         if not fresh:
             self.duplicates_dropped += 1
+        elif self.rx_goodput_bytes is not None:
+            # First delivery: what the application actually receives.
+            # Duplicates and retransmitted copies of already-delivered
+            # packets are *not* goodput -- that distinction is the whole
+            # point of the per-window recovery curves.
+            self.rx_goodput_bytes.add(len(packet.payload))
+            self.rx_goodput_packets.add(1)
         return fresh
 
     def _observe_rtt(self, st: _PeerTx, sample: float) -> None:

@@ -130,6 +130,12 @@ class FaultRuntime:
         self.outage_drops = 0
         self.ack_drops = 0
         self.crc_drops = 0
+        #: Virtual time of the first fault that actually engaged (first
+        #: drop or CRC discard), or None on a clean run.  This is the
+        #: chaos bench's *detection* timestamp -- deliberately not part
+        #: of :meth:`metrics` so historical ``--metrics`` blocks stay
+        #: byte-identical.
+        self.first_fault_us: Optional[float] = None
 
         # Hook into the machine layer.
         cluster.switch.faults = self
@@ -192,10 +198,23 @@ class FaultRuntime:
             self.outage_drops += 1
         else:
             self.ack_drops += 1
+        if self.first_fault_us is None:
+            self.first_fault_us = now
         sp = self.sim.spans
         if sp is not None:
             sp.emit(packet.src, "faults", verdict, "fault", now, now,
                     uid=packet.uid, dst=packet.dst)
+        flight = self.sim.flight
+        if flight is not None:
+            flight.note(packet.src, "faults", f"drop.{verdict}",
+                        dst=packet.dst, uid=packet.uid,
+                        kind=str(packet.kind))
+            # One black-box dump per distinct engaged fault verdict:
+            # the first drop of each kind captures the lead-up, the
+            # storm after it stays in the (bounded) rings.
+            flight.trigger("fault-engaged", key=("fault", verdict),
+                           verdict=verdict, src=packet.src,
+                           dst=packet.dst)
 
     # ------------------------------------------------------------------
     # receive path (called by Adapter on CRC discard)
@@ -203,10 +222,20 @@ class FaultRuntime:
     def record_crc(self, packet: "Packet", now: float) -> None:
         """Count a corruption discard and emit its span instant event."""
         self.crc_drops += 1
+        if self.first_fault_us is None:
+            self.first_fault_us = now
         sp = self.sim.spans
         if sp is not None:
             sp.emit(packet.dst, "faults", "corrupt", "fault", now, now,
                     uid=packet.uid, src=packet.src)
+        flight = self.sim.flight
+        if flight is not None:
+            flight.note(packet.dst, "faults", "drop.corrupt",
+                        src=packet.src, uid=packet.uid,
+                        kind=str(packet.kind))
+            flight.trigger("fault-engaged", key=("fault", "corrupt"),
+                           verdict="corrupt", src=packet.src,
+                           dst=packet.dst)
 
     # ------------------------------------------------------------------
     def metrics(self) -> dict:

@@ -88,7 +88,8 @@ class Cluster:
                  trace: Optional[Tracer] = None,
                  spans: Optional[Any] = None,
                  faults: Optional[Any] = None,
-                 scheduler: Optional[str] = None) -> None:
+                 scheduler: Optional[str] = None,
+                 telemetry: Optional[Any] = None) -> None:
         if nnodes < 1:
             raise MachineError("cluster needs at least one node")
         config.validate()
@@ -133,6 +134,18 @@ class Cluster:
                 node=node.node_id)
         self.metrics.register_collector("machine.switch",
                                         self.switch.metrics)
+        #: Armed virtual-time telemetry (``repro.obs.timeline``), or
+        #: None.  Passing a :class:`repro.obs.TelemetryConfig` builds
+        #: the windowed timeline over this registry, hangs the flight
+        #: recorder off ``sim.flight``, and -- when the config carries
+        #: SLO rules -- arms burn-rate alerting.  Purely observational:
+        #: snapshots, renders, virtual time, and event counts are
+        #: identical armed or disarmed.
+        self.telemetry = None
+        if telemetry is not None:
+            from ..obs.timeline import TelemetryRuntime
+            self.telemetry = TelemetryRuntime.install(
+                telemetry, self.sim, self.metrics)
         #: Terminal error recorded by :meth:`fail_run`; checked by the
         #: :meth:`run_job` event loop after every kernel step.
         self._fatal: Optional[BaseException] = None

@@ -38,34 +38,54 @@ arming any of it never perturbs virtual time.  See
 from .chrome import chrome_trace_events, write_chrome_trace
 from .export import (coerce_value, jsonl_lines, record_to_dict,
                      write_trace_jsonl)
+from .flight import FlightRecorder, write_flight_jsonl
 from .metrics import (Counter, DEPTH_BUCKETS, Gauge, Histogram,
                       LATENCY_BUCKETS_US, MetricsRegistry)
 from .pools import merge_pool_stats, pool_stats
 from .profile import (MANDATORY_PHASES, PHASE_ORDER, SIZE_BUCKETS,
                       bucket_of, critical_path, decompose, percentile,
                       render_critical_path, render_decomposition)
+from .sketch import DEFAULT_ALPHA, QuantileSketch, merge_sketches
+from .slo import (BurnRatePolicy, ErrorRateSlo, GoodputSlo, LatencySlo,
+                  SloEvaluator, default_rules)
 from .spans import SPAN_SCHEMA_KEYS, Span, SpanRecorder, span_to_dict
+from .timeline import (TelemetryConfig, TelemetryRuntime, Timeline,
+                       DEFAULT_WINDOW_US)
 
 __all__ = [
+    "BurnRatePolicy",
     "Counter",
+    "DEFAULT_ALPHA",
+    "DEFAULT_WINDOW_US",
     "DEPTH_BUCKETS",
+    "ErrorRateSlo",
+    "FlightRecorder",
     "Gauge",
+    "GoodputSlo",
     "Histogram",
     "LATENCY_BUCKETS_US",
+    "LatencySlo",
     "MANDATORY_PHASES",
     "MetricsRegistry",
     "PHASE_ORDER",
+    "QuantileSketch",
     "SIZE_BUCKETS",
     "SPAN_SCHEMA_KEYS",
+    "SloEvaluator",
     "Span",
     "SpanRecorder",
+    "TelemetryConfig",
+    "TelemetryRuntime",
+    "Timeline",
     "bucket_of",
     "chrome_trace_events",
     "coerce_value",
     "critical_path",
     "decompose",
+    "default_rules",
     "jsonl_lines",
     "merge_pool_stats",
+    "merge_sketches",
     "percentile",
     "pool_stats",
     "record_to_dict",
@@ -73,5 +93,6 @@ __all__ = [
     "render_decomposition",
     "span_to_dict",
     "write_chrome_trace",
+    "write_flight_jsonl",
     "write_trace_jsonl",
 ]

@@ -37,18 +37,28 @@ DEPTH_BUCKETS = tuple(float(2 ** k) for k in range(0, 11))
 
 
 class Counter:
-    """A monotonically increasing named count."""
+    """A monotonically increasing named count.
 
-    __slots__ = ("name", "value")
+    Negative increments raise: monotonicity is what makes per-window
+    timeline deltas (:mod:`repro.obs.timeline`) provably non-negative.
+    ``_tl`` is the optional timeline series armed by
+    :meth:`MetricsRegistry.attach_timeline`; disarmed, each update
+    pays exactly one ``is None`` test.
+    """
+
+    __slots__ = ("name", "value", "_tl")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._tl = None
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
             raise SimulationError(f"counter {self.name}: negative inc {n}")
         self.value += n
+        if self._tl is not None:
+            self._tl.add(n)
 
     def snapshot_value(self) -> int:
         return self.value
@@ -60,17 +70,20 @@ class Counter:
 class Gauge:
     """A point-in-time value (occupancy, utilization, high-water)."""
 
-    __slots__ = ("name", "value", "high_water")
+    __slots__ = ("name", "value", "high_water", "_tl")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
         self.high_water = 0.0
+        self._tl = None
 
     def set(self, v: float) -> None:
         self.value = v
         if v > self.high_water:
             self.high_water = v
+        if self._tl is not None:
+            self._tl.set(v)
 
     def snapshot_value(self) -> float:
         return self.value
@@ -88,7 +101,8 @@ class Histogram:
     identically.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "total", "max")
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min",
+                 "max", "_tl")
 
     def __init__(self, name: str,
                  buckets: Sequence[float] = LATENCY_BUCKETS_US) -> None:
@@ -101,20 +115,33 @@ class Histogram:
         self.counts = [0] * (len(edges) + 1)  # last slot == +inf
         self.count = 0
         self.total = 0.0
+        self.min = 0.0
         self.max = 0.0
+        self._tl = None
 
     def observe(self, value: float) -> None:
+        # min/max seed from the first sample: an all-negative stream
+        # must not report max=0.0 (and min must not report 0.0 for an
+        # all-positive one).
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
         self.count += 1
         self.total += value
-        if value > self.max:
-            self.max = value
         # bisect_left finds the first edge >= value -- the same slot the
         # linear "value <= edge" scan selected; len(edges) lands in the
         # +inf overflow bucket.
         self.counts[bisect_left(self.buckets, value)] += 1
+        if self._tl is not None:
+            self._tl.observe(value)
 
     def snapshot_value(self) -> dict:
-        """Stable dict form: count/sum/max plus the nonzero buckets."""
+        """Stable dict form: count/sum/min/max plus nonzero buckets."""
         nonzero = {}
         for edge, n in zip(self.buckets, self.counts):
             if n:
@@ -122,7 +149,8 @@ class Histogram:
         if self.counts[-1]:
             nonzero["inf"] = self.counts[-1]
         return {"count": self.count, "sum": round(self.total, 6),
-                "max": round(self.max, 6), "buckets": nonzero}
+                "min": round(self.min, 6), "max": round(self.max, 6),
+                "buckets": nonzero}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Histogram {self.name} n={self.count}>"
@@ -138,6 +166,7 @@ def _fmt_value(v: Any) -> str:
     if isinstance(v, dict):  # histogram snapshot
         buckets = "|".join(f"{k}:{n}" for k, n in v["buckets"].items())
         return (f"{{count={v['count']} sum={format(v['sum'], 'g')}"
+                f" min={format(v['min'], 'g')}"
                 f" max={format(v['max'], 'g')}"
                 f" buckets={buckets or '-'}}}")
     return str(v)
@@ -154,13 +183,33 @@ class MetricsRegistry:
     the bench harness prints under ``--metrics``.
     """
 
+    #: Instrument class -> timeline series kind.
+    _TIMELINE_KINDS = {Counter: "counter", Gauge: "gauge",
+                       Histogram: "hist"}
+
     def __init__(self) -> None:
         #: (subsystem, node_key, name) -> instrument
         self._instruments: dict[tuple[str, str, str], Any] = {}
         #: (subsystem, node_key) -> [collector, ...]
         self._collectors: dict[tuple[str, str], list[Callable]] = {}
+        #: Armed timeline (repro.obs.timeline.Timeline) or None.
+        self._timeline = None
 
     # -- instrument factories -------------------------------------------
+    def attach_timeline(self, timeline) -> None:
+        """Arm windowed telemetry: every existing instrument -- and
+        every instrument created from now on -- mirrors its updates
+        into a :class:`repro.obs.timeline.Timeline` series.
+
+        Purely additive: snapshots, renders, and collectors are
+        untouched, so ``--metrics`` output is identical armed or not.
+        """
+        self._timeline = timeline
+        for (subsystem, node_key, name), inst in \
+                self._instruments.items():
+            kind = self._TIMELINE_KINDS[type(inst)]
+            inst._tl = timeline.series(kind, subsystem, name, node_key)
+
     def _get_or_create(self, cls, subsystem: str, name: str,
                        node: Optional[int], *args):
         key = (subsystem, _node_key(node), name)
@@ -168,6 +217,9 @@ class MetricsRegistry:
         if inst is None:
             inst = cls(f"{subsystem}.{name}", *args)
             self._instruments[key] = inst
+            if self._timeline is not None:
+                inst._tl = self._timeline.series(
+                    self._TIMELINE_KINDS[cls], subsystem, name, key[1])
         elif not isinstance(inst, cls):
             raise SimulationError(
                 f"metric {key} already registered as"

@@ -1,0 +1,284 @@
+"""Declarative SLO rules with multi-window burn-rate alerting.
+
+ROADMAP item 5 (the production-serving workload) asks "did the run
+hold p50/p99/p99.9 latency, bounded error rates, and a goodput floor"
+-- questions about *windows of virtual time*, not end-of-run totals.
+This module evaluates declarative rules against the closed windows of
+a :class:`repro.obs.timeline.Timeline` and raises alerts using the
+standard SRE multi-window burn-rate construction:
+
+* each rule carries an **error budget** ``budget`` -- the fraction of
+  windows allowed to violate the objective over the long term;
+* after window ``w`` closes, the rule's **burn rate** over a lookback
+  of ``L`` windows is ``violations(L) / (L * budget)`` -- burn 1.0
+  means the budget is being consumed exactly as provisioned, burn
+  ``k`` means ``k`` times too fast;
+* an alert **pages** when the burn over *both* a short and a long
+  lookback reaches ``fast_burn`` (the short window makes the alert
+  responsive, the long window keeps one bad blip from paging), and
+  **warns** when both reach ``slow_burn``; it clears when neither
+  condition holds.
+
+Evaluation is driven entirely by timeline window closes -- it runs in
+virtual time, schedules nothing, and is a pure function of the
+observation stream, so serial and ``--jobs N`` runs produce identical
+alert logs.  A page routes into the flight recorder
+(:mod:`repro.obs.flight`), capturing the black box around the
+violation.
+
+Rules are frozen, picklable dataclasses so a
+:class:`~repro.obs.timeline.TelemetryConfig` carrying them ships to
+sweep workers verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SimulationError
+from .sketch import merge_sketches
+
+__all__ = ["BurnRatePolicy", "LatencySlo", "ErrorRateSlo",
+           "GoodputSlo", "SloEvaluator", "default_rules"]
+
+_SEVERITY = {"ok": 0, "warn": 1, "page": 2}
+
+
+@dataclass(frozen=True)
+class BurnRatePolicy:
+    """Lookback pair and burn thresholds for one rule's alerting."""
+
+    short_windows: int = 4
+    long_windows: int = 16
+    fast_burn: float = 4.0
+    slow_burn: float = 1.0
+
+    def validate(self) -> None:
+        if not 1 <= self.short_windows <= self.long_windows:
+            raise SimulationError(
+                f"burn-rate lookbacks must satisfy 1 <= short <= long,"
+                f" got {self.short_windows}/{self.long_windows}")
+        if not 0.0 < self.slow_burn <= self.fast_burn:
+            raise SimulationError(
+                f"burn thresholds must satisfy 0 < slow <= fast,"
+                f" got {self.slow_burn}/{self.fast_burn}")
+
+
+def _pick(values: dict, kind: str, subsystem: str, name: str) -> list:
+    """Closed-window values of every node's (subsystem, name) stream."""
+    return [value for (sub, _node, nm), (k, value) in values.items()
+            if k == kind and sub == subsystem and nm == name]
+
+
+@dataclass(frozen=True)
+class LatencySlo:
+    """``quantile(metric)`` must stay at or below ``target_us``.
+
+    Evaluated per window against the merged-across-nodes sketch of the
+    named histogram stream; windows with no observations are skipped
+    (no traffic is not a latency violation).
+    """
+
+    name: str
+    subsystem: str
+    metric: str
+    quantile: float
+    target_us: float
+    budget: float = 0.05
+    policy: BurnRatePolicy = field(default_factory=BurnRatePolicy)
+
+    def evaluate(self, values: dict) -> Optional[bool]:
+        sketches = _pick(values, "hist", self.subsystem, self.metric)
+        sketches = [s for s in sketches if s.count]
+        if not sketches:
+            return None
+        merged = merge_sketches(sketches, alpha=sketches[0].alpha)
+        estimate = merged.quantile(self.quantile)
+        return estimate is not None and estimate > self.target_us
+
+
+@dataclass(frozen=True)
+class ErrorRateSlo:
+    """``errors / total`` per window must stay at or below
+    ``max_ratio`` (e.g. retransmissions per packet sent).  Windows
+    where ``total`` is zero are skipped."""
+
+    name: str
+    subsystem: str
+    errors: str
+    total: str
+    max_ratio: float
+    budget: float = 0.05
+    policy: BurnRatePolicy = field(default_factory=BurnRatePolicy)
+
+    def evaluate(self, values: dict) -> Optional[bool]:
+        bad = sum(_pick(values, "counter", self.subsystem, self.errors))
+        total = sum(_pick(values, "counter", self.subsystem,
+                          self.total))
+        if total <= 0:
+            return None
+        return bad / total > self.max_ratio
+
+
+@dataclass(frozen=True)
+class GoodputSlo:
+    """The summed per-window delta of a counter stream must stay at or
+    above ``floor`` once the stream has started flowing.
+
+    Warmup windows (before the first window with any delta) are
+    skipped; after that, *empty* windows count as violations -- an
+    outage that stops traffic entirely produces gap windows, and those
+    gaps are exactly what this rule exists to catch.
+    """
+
+    name: str
+    subsystem: str
+    counter: str
+    floor: float
+    budget: float = 0.05
+    policy: BurnRatePolicy = field(default_factory=BurnRatePolicy)
+
+    def evaluate(self, values: dict) -> Optional[bool]:
+        delta = sum(_pick(values, "counter", self.subsystem,
+                          self.counter))
+        return delta < self.floor
+
+
+class _RuleState:
+    """Mutable alerting state of one rule inside the evaluator."""
+
+    __slots__ = ("rule", "verdicts", "started", "state", "windows",
+                 "violations", "worst_burn")
+
+    def __init__(self, rule) -> None:
+        rule.policy.validate()
+        if not 0.0 < rule.budget <= 1.0:
+            raise SimulationError(
+                f"SLO rule {rule.name!r}: budget must be in (0, 1],"
+                f" got {rule.budget}")
+        from collections import deque
+        self.rule = rule
+        self.verdicts: deque = deque(maxlen=rule.policy.long_windows)
+        self.started = False
+        self.state = "ok"
+        self.windows = 0
+        self.violations = 0
+        self.worst_burn = 0.0
+
+    def burn(self, lookback: int) -> float:
+        window = list(self.verdicts)[-lookback:]
+        if not window:
+            return 0.0
+        return (sum(window) / len(window)) / self.rule.budget
+
+
+class SloEvaluator:
+    """Evaluates a rule set on every timeline window close.
+
+    Subscribes to the timeline; alerts are recorded as state
+    *transitions* (page / warn / clear) in a deterministic log, and
+    each distinct rule's first page triggers a flight-recorder dump.
+    """
+
+    def __init__(self, rules, timeline, flight=None) -> None:
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise SimulationError(
+                f"duplicate SLO rule names: {names}")
+        self._states = [_RuleState(rule) for rule in rules]
+        self._timeline = timeline
+        self._flight = flight
+        self.alerts: list[dict] = []
+        timeline.add_close_listener(self.on_window)
+
+    # ------------------------------------------------------------------
+    def on_window(self, w: int, end_us: float, values: dict) -> None:
+        for st in self._states:
+            rule = st.rule
+            if isinstance(rule, GoodputSlo) and not st.started:
+                # Warmup: hold evaluation until the stream first flows.
+                delta = sum(_pick(values, "counter", rule.subsystem,
+                                  rule.counter))
+                if delta < rule.floor:
+                    continue
+                st.started = True
+            verdict = rule.evaluate(values)
+            if verdict is None:
+                continue
+            st.windows += 1
+            st.violations += int(verdict)
+            st.verdicts.append(int(verdict))
+            if len(st.verdicts) < rule.policy.short_windows:
+                continue
+            short = st.burn(rule.policy.short_windows)
+            long_ = st.burn(rule.policy.long_windows)
+            paired = min(short, long_)
+            if paired > st.worst_burn:
+                st.worst_burn = paired
+            if paired >= rule.policy.fast_burn:
+                severity = "page"
+            elif paired >= rule.policy.slow_burn:
+                severity = "warn"
+            else:
+                severity = "ok"
+            if severity == st.state:
+                continue
+            rising = _SEVERITY[severity] > _SEVERITY[st.state]
+            st.state = severity
+            self.alerts.append({
+                "t_us": round(end_us, 3),
+                "window": w,
+                "rule": rule.name,
+                "event": severity if severity != "ok" else "clear",
+                "short_burn": round(short, 4),
+                "long_burn": round(long_, 4),
+            })
+            if severity == "page" and rising and \
+                    self._flight is not None:
+                self._flight.trigger(
+                    "slo-page", key=("slo", rule.name),
+                    rule=rule.name, window=w,
+                    short_burn=round(short, 4),
+                    long_burn=round(long_, 4))
+
+    # ------------------------------------------------------------------
+    def alert_dicts(self) -> list[dict]:
+        """The transition log (already deterministic and JSON-safe)."""
+        return list(self.alerts)
+
+    def summary(self) -> list[dict]:
+        """Per-rule roll-up for report payloads."""
+        return [{"rule": st.rule.name,
+                 "windows": st.windows,
+                 "violations": st.violations,
+                 "worst_burn": round(st.worst_burn, 4),
+                 "final_state": st.state}
+                for st in self._states]
+
+
+def default_rules() -> tuple:
+    """The rule set ``--slo`` arms when no custom rules are given.
+
+    Targets are deliberately loose for healthy runs -- the point of
+    the defaults is to page on *faults* (outages stalling goodput,
+    retransmission storms, latency collapse), not to grade the
+    SP's baseline numbers.
+    """
+    return (
+        GoodputSlo(name="goodput-floor",
+                   subsystem="telemetry.transport",
+                   counter="rx_payload_bytes", floor=1.0,
+                   budget=0.05,
+                   policy=BurnRatePolicy(short_windows=2,
+                                         long_windows=8,
+                                         fast_burn=4.0,
+                                         slow_burn=1.0)),
+        ErrorRateSlo(name="retx-rate",
+                     subsystem="telemetry.transport",
+                     errors="retransmits", total="rx_packets",
+                     max_ratio=0.10, budget=0.05),
+        LatencySlo(name="ack-rtt-p99",
+                   subsystem="core.reliability", metric="ack_rtt_us",
+                   quantile=0.99, target_us=5000.0, budget=0.05),
+    )

@@ -196,6 +196,11 @@ class Simulator:
         #: for plumbing convenience -- the kernel itself never touches
         #: it.
         self.pools: Optional[Any] = None
+        #: Optional ``repro.obs.flight.FlightRecorder`` attached by the
+        #: cluster when telemetry is armed: the black box that fault
+        #: and reliability trigger points dump into.  Same contract as
+        #: ``spans``: purely observational, guarded on ``is not None``.
+        self.flight: Optional[Any] = None
         #: Cumulative count of events processed over the simulator's
         #: lifetime; useful for tests and perf accounting.  Budget
         #: checks (``max_events``) are always *per call*, relative to a

@@ -3,10 +3,12 @@
 import pytest
 
 from repro.bench import parallel, runner
-from repro.bench.chaos import (CHAOS_BYTES, CHAOS_SEED, chaos_jobs,
-                               chaos_point, chaos_scenarios, run_chaos)
+from repro.bench.chaos import (CHAOS_BYTES, CHAOS_SEED,
+                               CHAOS_WINDOW_US, chaos_jobs,
+                               chaos_point, chaos_scenarios,
+                               degradation_pct, run_chaos)
 from repro.bench.parallel import sweep
-from repro.faults import FaultSchedule, GilbertElliott
+from repro.faults import FaultSchedule, GilbertElliott, LinkOutage
 
 
 @pytest.fixture
@@ -48,6 +50,49 @@ class TestChaosPoint:
         assert rec["retransmissions"] == 0
         assert rec["fault_drops"] == 0 and rec["crc_drops"] == 0
         assert rec["intact"]
+        assert rec["detection_us"] is None
+
+    def test_point_emits_time_resolved_goodput_curve(self):
+        rec = chaos_point(CHAOS_BYTES, 4, None, CHAOS_SEED)
+        assert rec["window_us"] == CHAOS_WINDOW_US
+        # Zero-delta windows are legitimate (fence/control packets
+        # deliver no payload bytes but still touch the stream).
+        windows = rec["goodput_windows"]
+        assert windows and all(
+            isinstance(w, int) and d >= 0 for w, d in windows)
+        assert any(d > 0 for _, d in windows)
+        assert [w for w, _ in windows] == sorted(w for w, _ in windows)
+        # The curve accounts for every delivered payload byte: the puts
+        # plus fence/control traffic both directions.
+        assert sum(d for _, d in windows) >= CHAOS_BYTES * 4
+
+    def test_outage_point_records_detection_and_gap(self):
+        sched = FaultSchedule([
+            LinkOutage(src=0, dst=1, start=400.0, end=900.0)])
+        rec = chaos_point(CHAOS_BYTES, 6, sched, CHAOS_SEED)
+        assert rec["detection_us"] is not None
+        assert rec["detection_us"] >= 400.0
+        # During the outage the goodput curve dips: some window in the
+        # active span delivers less than the curve's best window.
+        deltas = dict(rec["goodput_windows"])
+        span = range(min(deltas), max(deltas) + 1)
+        assert min(deltas.get(w, 0) for w in span) < max(deltas.values())
+
+
+class TestDegradationPct:
+    def test_negative_dust_clamps_to_zero(self):
+        # Regression: a scenario a float-hair *faster* than baseline
+        # used to render "-0.0" in the degradation column.
+        value = degradation_pct(35.2000001, 35.2)
+        assert value == 0.0
+        assert str(value) == "0.0"  # not "-0.0"
+
+    def test_equal_goodput_is_zero(self):
+        assert degradation_pct(10.0, 10.0) == 0.0
+
+    def test_positive_degradation_rounds(self):
+        assert degradation_pct(5.0, 10.0) == 50.0
+        assert degradation_pct(8.77, 10.0) == 12.3
 
 
 class TestRunChaos:

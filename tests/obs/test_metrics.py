@@ -39,8 +39,27 @@ class TestHistogram:
             h.observe(v)
         snap = h.snapshot_value()
         assert snap["count"] == 5
+        assert snap["min"] == 0.5
         assert snap["max"] == 100.0
         assert snap["buckets"] == {"1": 2, "2": 1, "4": 1, "inf": 1}
+
+    def test_min_max_seed_from_first_sample(self):
+        # Regression: max used to start at 0.0, so an all-negative (or
+        # all-sub-zero) stream reported a max no sample ever reached.
+        h = Histogram("lat", buckets=[10.0])
+        h.observe(-5.0)
+        snap = h.snapshot_value()
+        assert snap["min"] == -5.0
+        assert snap["max"] == -5.0
+        h.observe(-2.0)
+        snap = h.snapshot_value()
+        assert snap["min"] == -5.0
+        assert snap["max"] == -2.0
+
+    def test_empty_histogram_reports_zero_extremes(self):
+        snap = Histogram("lat", buckets=[1.0]).snapshot_value()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
 
     def test_sum_rounds_stably(self):
         h = Histogram("lat", buckets=[10.0])

@@ -1,0 +1,126 @@
+"""Quantile sketch: accuracy bounds, exact merge, stable layout."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import DEFAULT_ALPHA, QuantileSketch, merge_sketches
+
+
+def sketch_of(values, alpha=DEFAULT_ALPHA):
+    s = QuantileSketch(alpha=alpha)
+    s.extend(values)
+    return s
+
+
+class TestObserve:
+    def test_empty_sketch_has_no_quantiles(self):
+        s = QuantileSketch()
+        assert s.count == 0
+        assert s.quantile(0.5) is None
+        assert s.mean is None
+
+    def test_mean_and_count_are_exact(self):
+        s = sketch_of([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+
+    def test_weighted_observe(self):
+        a = sketch_of([5.0] * 3)
+        b = QuantileSketch()
+        b.observe(5.0, n=3)
+        assert a == b
+        with pytest.raises(SimulationError):
+            b.observe(1.0, n=0)
+
+    def test_zero_and_negative_values(self):
+        s = sketch_of([-10.0, 0.0, 10.0])
+        assert s.zero == 1
+        q0 = s.quantile(0.0)
+        q1 = s.quantile(1.0)
+        assert q0 < 0.0 < q1
+        assert abs(q0 + 10.0) <= DEFAULT_ALPHA * 10.0
+        assert abs(q1 - 10.0) <= DEFAULT_ALPHA * 10.0
+
+    def test_invalid_alpha_and_quantile_rejected(self):
+        with pytest.raises(SimulationError):
+            QuantileSketch(alpha=0.0)
+        with pytest.raises(SimulationError):
+            QuantileSketch(alpha=1.0)
+        with pytest.raises(SimulationError):
+            QuantileSketch().quantile(1.5)
+
+
+class TestAccuracy:
+    def test_relative_error_bound_holds(self):
+        # Deterministic pseudo-random latency-like stream.
+        rng = random.Random(0xD15C)
+        values = sorted(rng.lognormvariate(3.0, 1.0)
+                        for _ in range(5000))
+        s = sketch_of(values)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            true = values[min(len(values) - 1,
+                              max(0, -(-int(q * len(values))) - 1))]
+            est = s.quantile(q)
+            assert abs(est - true) <= 2.0 * DEFAULT_ALPHA * true, \
+                f"q={q}: est {est} vs true {true}"
+
+    def test_single_value_round_trips_within_alpha(self):
+        s = sketch_of([123.456])
+        for q in (0.0, 0.5, 1.0):
+            assert abs(s.quantile(q) - 123.456) \
+                <= DEFAULT_ALPHA * 123.456
+
+
+class TestMerge:
+    def test_merge_equals_whole_stream_sketch(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.1, 1000.0) for _ in range(999)]
+        whole = sketch_of(values)
+        parts = [sketch_of(values[i::4]) for i in range(4)]
+        assert merge_sketches(parts) == whole
+
+    def test_merge_is_order_independent(self):
+        rng = random.Random(8)
+        chunks = [[rng.expovariate(0.01) for _ in range(50)]
+                  for _ in range(5)]
+        parts = [sketch_of(c) for c in chunks]
+        forward = merge_sketches(parts)
+        backward = merge_sketches(reversed(parts))
+        assert forward == backward
+        assert forward.to_dict() == backward.to_dict()
+
+    def test_merge_is_associative(self):
+        a, b, c = (sketch_of([1.0, 2.0]), sketch_of([3.0]),
+                   sketch_of([4.0, 5.0, 6.0]))
+        left = merge_sketches([merge_sketches([a, b]), c])
+        right = merge_sketches([a, merge_sketches([b, c])])
+        assert left == right
+
+    def test_merge_leaves_inputs_untouched(self):
+        a = sketch_of([1.0])
+        before = a.to_dict()
+        merge_sketches([a, sketch_of([9.0])])
+        assert a.to_dict() == before
+
+    def test_mismatched_alpha_rejected(self):
+        with pytest.raises(SimulationError):
+            sketch_of([1.0]).merge(sketch_of([1.0], alpha=0.02))
+
+
+class TestSerialization:
+    def test_to_dict_round_trips(self):
+        s = sketch_of([-3.0, 0.0, 1.0, 10.0, 10.0, 250.0])
+        clone = QuantileSketch.from_dict(s.to_dict())
+        assert clone == s
+        assert clone.to_dict() == s.to_dict()
+
+    def test_equal_sketches_serialize_byte_identically(self):
+        # Same observations in different orders: identical JSON.
+        values = [5.0, 1.0, 99.0, 0.25, 5.0]
+        a = sketch_of(values)
+        b = sketch_of(list(reversed(values)))
+        dump = lambda s: json.dumps(s.to_dict(), sort_keys=True)
+        assert dump(a) == dump(b)

@@ -1,0 +1,153 @@
+"""SLO rules: verdict semantics and multi-window burn-rate alerting."""
+
+import pickle
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import (BurnRatePolicy, ErrorRateSlo, FlightRecorder,
+                       GoodputSlo, LatencySlo, QuantileSketch,
+                       SloEvaluator, TelemetryConfig, Timeline,
+                       default_rules)
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_evaluator(rules, flight=None):
+    tl = Timeline(FakeSim(), TelemetryConfig())
+    return SloEvaluator(rules, tl, flight=flight)
+
+
+def goodput_rule(**overrides):
+    kwargs = dict(name="g", subsystem="s", counter="c", floor=1.0,
+                  budget=0.25,
+                  policy=BurnRatePolicy(short_windows=2, long_windows=4,
+                                        fast_burn=4.0, slow_burn=1.0))
+    kwargs.update(overrides)
+    return GoodputSlo(**kwargs)
+
+
+def flow(delta):
+    return {("s", "0", "c"): ("counter", delta)}
+
+
+class TestPolicy:
+    def test_validate_rejects_bad_lookbacks_and_burns(self):
+        with pytest.raises(SimulationError):
+            BurnRatePolicy(short_windows=0).validate()
+        with pytest.raises(SimulationError):
+            BurnRatePolicy(short_windows=8, long_windows=4).validate()
+        with pytest.raises(SimulationError):
+            BurnRatePolicy(fast_burn=1.0, slow_burn=2.0).validate()
+        BurnRatePolicy().validate()
+
+    def test_bad_budget_rejected_at_evaluator_build(self):
+        with pytest.raises(SimulationError):
+            make_evaluator((goodput_rule(budget=0.0),))
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(SimulationError):
+            make_evaluator((goodput_rule(), goodput_rule()))
+
+
+class TestVerdicts:
+    def test_error_rate_skips_windows_without_traffic(self):
+        rule = ErrorRateSlo(name="e", subsystem="s", errors="err",
+                            total="tot", max_ratio=0.5)
+        assert rule.evaluate({}) is None
+        values = {("s", "0", "err"): ("counter", 3),
+                  ("s", "0", "tot"): ("counter", 4)}
+        assert rule.evaluate(values) is True
+        values[("s", "0", "err")] = ("counter", 2)
+        assert rule.evaluate(values) is False
+
+    def test_latency_skips_empty_windows(self):
+        rule = LatencySlo(name="l", subsystem="s", metric="lat",
+                          quantile=0.5, target_us=100.0)
+        assert rule.evaluate({}) is None
+        sk = QuantileSketch()
+        sk.observe(500.0)
+        assert rule.evaluate({("s", "0", "lat"): ("hist", sk)}) is True
+        ok = QuantileSketch()
+        ok.observe(50.0)
+        assert rule.evaluate({("s", "0", "lat"): ("hist", ok)}) is False
+
+    def test_latency_merges_across_nodes(self):
+        rule = LatencySlo(name="l", subsystem="s", metric="lat",
+                          quantile=0.95, target_us=100.0)
+        a, b = QuantileSketch(), QuantileSketch()
+        for _ in range(9):
+            a.observe(10.0)
+        b.observe(10_000.0)  # one outlier on another node drives p95
+        values = {("s", "0", "lat"): ("hist", a),
+                  ("s", "1", "lat"): ("hist", b)}
+        assert rule.evaluate(values) is True
+
+    def test_goodput_gap_window_is_a_violation(self):
+        rule = goodput_rule()
+        assert rule.evaluate({}) is True
+        assert rule.evaluate(flow(5)) is False
+
+
+class TestBurnRateAlerting:
+    def run_windows(self, ev, deltas):
+        for w, delta in enumerate(deltas):
+            values = {} if delta is None else flow(delta)
+            ev.on_window(w, (w + 1) * 100.0, values)
+
+    def test_warmup_holds_until_stream_flows(self):
+        ev = make_evaluator((goodput_rule(),))
+        # Gaps before first flow are warmup, not violations.
+        self.run_windows(ev, [None, None, None, 5, 5, 5, 5])
+        assert ev.alerts == []
+        assert ev.summary()[0]["violations"] == 0
+        assert ev.summary()[0]["windows"] == 4
+
+    def test_outage_pages_then_recovery_clears(self):
+        flight = FlightRecorder(FakeSim(), entries=4)
+        ev = make_evaluator((goodput_rule(),), flight=flight)
+        # Flow, then a total outage, then recovery.
+        self.run_windows(ev, [5, 5, None, None, None, None,
+                              5, 5, 5, 5, 5])
+        events = [a["event"] for a in ev.alerts]
+        assert "page" in events
+        assert events[-1] == "clear"
+        assert events.index("page") < events.index("clear")
+        # Alerts carry virtual timestamps and both burns.
+        page = next(a for a in ev.alerts if a["event"] == "page")
+        assert page["t_us"] > 0 and page["short_burn"] >= 4.0
+        # The first page captured a flight dump (deduped by rule).
+        assert [d["reason"] for d in flight.dumps] == ["slo-page"]
+
+    def test_alerts_are_transitions_not_levels(self):
+        ev = make_evaluator((goodput_rule(),))
+        self.run_windows(ev, [5, 5] + [None] * 8)
+        # A sustained outage alerts once per state change, not per
+        # window: monotone escalation warn -> page, no repeats.
+        events = [a["event"] for a in ev.alerts]
+        assert len(events) == len(set(events))
+
+    def test_deterministic_alert_log(self):
+        deltas = [5, 5, None, None, None, 5, 5, 5, 5]
+        a = make_evaluator((goodput_rule(),))
+        b = make_evaluator((goodput_rule(),))
+        self.run_windows(a, deltas)
+        self.run_windows(b, deltas)
+        assert a.alert_dicts() == b.alert_dicts()
+        assert a.summary() == b.summary()
+
+
+class TestDefaults:
+    def test_default_rules_are_picklable_and_named_uniquely(self):
+        rules = default_rules()
+        assert len({r.name for r in rules}) == len(rules) == 3
+        clone = pickle.loads(pickle.dumps(rules))
+        assert clone == rules
+
+    def test_default_rules_build_an_evaluator(self):
+        ev = make_evaluator(default_rules())
+        assert [s["rule"] for s in ev.summary()] == [
+            "goodput-floor", "retx-rate", "ack-rtt-p99"]
