@@ -31,16 +31,19 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
+from ..errors import PeerUnreachableError
 from ..faults import (AckLoss, Corruption, CpuDegrade, CpuPause,
-                      FaultSchedule, GilbertElliott, LinkOutage)
+                      FaultSchedule, GilbertElliott, LinkOutage,
+                      NodeCrash, NodeRestart)
 from ..obs import TelemetryConfig
 from .parallel import Deferred, JobSpec, submit
 from .report import ExperimentResult
 from .runner import armed_telemetry, bandwidth_mbs, fresh_cluster
 
 __all__ = ["run_chaos", "submit_chaos", "chaos_jobs", "chaos_point",
-           "chaos_scenarios", "degradation_pct", "CHAOS_SEED",
-           "CHAOS_WINDOW_US"]
+           "chaos_scenarios", "crash_point", "crash_scenarios",
+           "degradation_pct", "CHAOS_SEED", "CHAOS_WINDOW_US",
+           "CRASH_AT_US", "RESTART_AT_US"]
 
 #: Cluster seed of every chaos scenario (one cluster per scenario, so
 #: a shared seed keeps scenarios comparable without coupling them).
@@ -62,6 +65,16 @@ CHAOS_WINDOW_US = 250.0
 #: A goodput window counts as *impaired* below this fraction of the
 #: baseline's median per-window goodput (see :func:`_recovered_us`).
 IMPAIRED_FRACTION = 0.5
+
+#: Fail-stop crash scenarios run on a 3-node ring; node 2 crashes at
+#: this virtual instant (mid-workload) and -- in the restart scenario
+#: -- its machine comes back here.  The conviction happens around
+#: ``CRASH_AT_US + conviction_threshold``; the restart instant is far
+#: enough past it that absolution is observable.
+CRASH_NNODES = 3
+CRASH_NODE = 2
+CRASH_AT_US = 1500.0
+RESTART_AT_US = 6000.0
 
 
 def chaos_scenarios(quick: bool = False) -> list[tuple[str,
@@ -178,13 +191,195 @@ def chaos_point(nbytes: int, nmsgs: int,
     return records
 
 
+def crash_scenarios(quick: bool = False) -> list[tuple[str,
+                                                       Optional[FaultSchedule]]]:
+    """Fail-stop crash sweep, baseline first.
+
+    All three run even under ``--perf-quick``: the CI fault-smoke
+    serial/parallel determinism diff is the crash scenarios' primary
+    regression gate.
+    """
+    return [
+        ("crash_baseline", None),
+        ("node_crash", FaultSchedule([
+            NodeCrash(node=CRASH_NODE, start=CRASH_AT_US)])),
+        ("node_crash_restart", FaultSchedule([
+            NodeCrash(node=CRASH_NODE, start=CRASH_AT_US),
+            NodeRestart(node=CRASH_NODE, start=RESTART_AT_US)])),
+    ]
+
+
+def crash_point(nbytes: int, nmsgs: int,
+                schedule: Optional[FaultSchedule],
+                seed: int = CHAOS_SEED) -> dict:
+    """One fail-stop measurement: a 3-node put ring with per-message
+    gfences, run under ``on_peer_failure="continue"``.
+
+    Rank 0 is the measured survivor: its puts target rank 1 (also a
+    survivor), but every gfence entangles it with rank 2 -- the node
+    the schedule kills -- so the crash shows up as a goodput dip that
+    lasts exactly until the failure detector convicts the dead peer
+    and the barrier degrades to the survivor set.
+    """
+    records: dict = {}
+    payload = bytes(i % 251 for i in range(nbytes))
+    # Restart scenarios: survivors linger past the restart long enough
+    # for two heartbeat rounds, so absolution (breaker close) is
+    # observable regardless of how fast the put loop finishes.
+    linger_until = None
+    if schedule is not None:
+        from ..machine.config import SP_1998
+        restarts = [c.start for c in schedule.clauses
+                    if isinstance(c, NodeRestart)]
+        if restarts:
+            linger_until = (max(restarts)
+                            + 2 * SP_1998.heartbeat_period + 100.0)
+
+    def main(task):
+        lapi = task.lapi
+        mem = task.memory
+        buf = mem.malloc(nbytes)
+        yield from lapi.gfence()
+        dst = (task.rank + 1) % task.size
+        src = mem.malloc(nbytes)
+        mem.write(src, payload)
+        cmpl = lapi.counter()
+        sent = 0
+        refused = 0
+        t0 = task.now()
+        for _ in range(nmsgs):
+            try:
+                if dst not in lapi.ctx.dead_peers:
+                    if dst == CRASH_NODE:
+                        # Plain put: a completion counter at a peer
+                        # that may die mid-flight would never fire;
+                        # the closing gfence still bounds delivery.
+                        yield from lapi.put(dst, nbytes, buf, src)
+                    else:
+                        yield from lapi.put(dst, nbytes, buf, src,
+                                            cmpl_cntr=cmpl)
+                        yield from lapi.waitcntr(cmpl, 1)
+                    sent += 1
+            except PeerUnreachableError:
+                # Conviction landed between the dead-peer check and
+                # the send: the circuit breaker refused it fast.
+                refused += 1
+            yield from lapi.gfence()
+        if task.rank == 0:
+            records["elapsed"] = task.now() - t0
+        if linger_until is not None and task.now() < linger_until:
+            yield from task.thread.sleep(linger_until - task.now())
+        if task.rank == 0:
+            tr = lapi.transport
+            records["retransmissions"] = tr.retransmissions
+            records["karn_skips"] = tr.karn_skips
+            records["rto"] = tr.peer_rto(1)
+            records["sends_refused"] = refused
+            records["completed_in_error"] = tr.completed_in_error
+            records["breaker"] = {
+                "opens": tr.breaker_opens,
+                "closes": tr.breaker_closes,
+                "suppressed": tr.breaker_suppressed,
+            }
+        if task.rank == 1:
+            records["intact"] = mem.read(buf, nbytes) == payload
+        return sent
+
+    tcfg = TelemetryConfig(window_us=CHAOS_WINDOW_US)
+    armed = armed_telemetry()
+    if armed is not None and armed.slo:
+        tcfg = dataclasses.replace(tcfg, slo=armed.slo)
+    cluster = fresh_cluster(CRASH_NNODES, seed=seed, faults=schedule,
+                            telemetry=tcfg)
+    results = cluster.run_job(main, stacks=("lapi",),
+                              interrupt_mode=False,
+                              until=2_000_000.0,
+                              on_peer_failure="continue")
+    records["sent_per_rank"] = [r if isinstance(r, int) else None
+                                for r in results]
+    faults = cluster.faults
+    records["fault_drops"] = (
+        0 if faults is None
+        else faults.ge_drops + faults.outage_drops + faults.ack_drops)
+    records["crc_drops"] = 0 if faults is None else faults.crc_drops
+    records["crash_dropped"] = sum(
+        node.adapter.rx_crash_dropped + node.adapter.tx_crash_dropped
+        for node in cluster.nodes)
+    records["threads_killed"] = (0 if faults is None
+                                 else faults.threads_killed)
+    records["virtual_us"] = round(cluster.sim.now, 6)
+    timeline = cluster.telemetry.timeline
+    timeline.finalize()
+    per_window: dict[int, int] = {}
+    for rank in range(CRASH_NNODES):
+        for w, delta in timeline.counter_windows(
+                "telemetry.transport", "rx_payload_bytes", node=rank):
+            per_window[w] = per_window.get(w, 0) + delta
+    records["window_us"] = CHAOS_WINDOW_US
+    records["goodput_windows"] = [[w, per_window[w]]
+                                  for w in sorted(per_window)]
+    # Crash/recovery instants.  ``detection_us`` keeps the chaos-table
+    # meaning (first fault engaged = the crash itself); conviction is
+    # when the heartbeat detector *observed* it, and their difference
+    # is the detection latency the table reports.
+    first = None if faults is None else faults.first_fault_us
+    records["detection_us"] = (None if first is None
+                               else round(first, 3))
+    records["crash_events"] = (
+        [] if faults is None
+        else [[round(t, 3), node, what]
+              for t, node, what in faults.crash_events])
+    res = cluster.resilience
+    if res is None:
+        records["convictions"] = []
+        records["recoveries"] = []
+        records["conviction_us"] = None
+        records["detection_latency_us"] = None
+    else:
+        records["convictions"] = [[round(t, 3), obs, peer]
+                                  for t, obs, peer in res.convictions]
+        records["recoveries"] = [[round(t, 3), obs, peer]
+                                 for t, obs, peer in res.recoveries]
+        first_conv = (round(res.convictions[0][0], 3)
+                      if res.convictions else None)
+        records["conviction_us"] = first_conv
+        records["detection_latency_us"] = (
+            None if first_conv is None or first is None
+            else round(first_conv - first, 3))
+    # Black-box dumps (conviction/crash triggers): the bench's crash
+    # artifact, exported via --faults-out for CI to archive.  Only the
+    # crash-forensic reasons are kept: globally-armed telemetry (e.g.
+    # --slo) may trigger its own dumps, and --faults-out must stay a
+    # pure function of the job args.
+    # (their global dump "seq" is dropped for the same reason: an
+    # SLO-triggered dump in between would renumber ours).
+    flight = cluster.sim.flight
+    records["flight"] = [] if flight is None else [
+        {k: v for k, v in d.items() if k != "seq"}
+        for d in flight.dump_dicts()
+        if d.get("reason") in ("fault-engaged", "peer-convicted",
+                               "peer-unreachable")]
+    return records
+
+
 def chaos_jobs(quick: bool = False) -> list[JobSpec]:
-    """The chaos sweep as declarative job specs (one per scenario)."""
+    """The chaos sweep as declarative job specs (one per scenario).
+
+    Fail-stop crash scenarios ride in the same sweep: they are
+    independent clusters, so the engine parallelizes them like any
+    other scenario and the ``--faults-out`` determinism contract
+    covers them too.
+    """
     nmsgs = CHAOS_MSGS_QUICK if quick else CHAOS_MSGS
-    return [JobSpec(chaos_point, (CHAOS_BYTES, nmsgs, schedule,
+    jobs = [JobSpec(chaos_point, (CHAOS_BYTES, nmsgs, schedule,
                                   CHAOS_SEED),
                     key=("chaos", name))
             for name, schedule in chaos_scenarios(quick)]
+    jobs.extend(JobSpec(crash_point, (CHAOS_BYTES, nmsgs, schedule,
+                                      CHAOS_SEED),
+                        key=("chaos", name))
+                for name, schedule in crash_scenarios(quick))
+    return jobs
 
 
 def submit_chaos(quick: bool = False) -> Deferred:
@@ -243,8 +438,9 @@ def _recovered_us(rec: dict, threshold: float) -> Optional[float]:
 
 def _chaos(values: list, quick: bool) -> ExperimentResult:
     names = [name for name, _ in chaos_scenarios(quick)]
+    crash_names = [name for name, _ in crash_scenarios(quick)]
     nmsgs = CHAOS_MSGS_QUICK if quick else CHAOS_MSGS
-    points = dict(zip(names, values))
+    points = dict(zip(names + crash_names, values))
 
     base = points["baseline"]
     base_goodput = bandwidth_mbs(CHAOS_BYTES * nmsgs, base["elapsed"])
@@ -273,6 +469,32 @@ def _chaos(values: list, quick: bool) -> ExperimentResult:
             "yes" if rec["intact"] else "NO",
         ])
 
+    # -- fail-stop crash rows (3-node ring; degradation and recovery
+    # are measured against the crash-free 3-node baseline) -----------
+    crash_base = points["crash_baseline"]
+    crash_base_goodput = bandwidth_mbs(CHAOS_BYTES * nmsgs,
+                                       crash_base["elapsed"])
+    crash_threshold = (IMPAIRED_FRACTION
+                       * _median_window_goodput(crash_base))
+    for name in crash_names:
+        rec = points[name]
+        goodput = bandwidth_mbs(CHAOS_BYTES * nmsgs, rec["elapsed"])
+        recovery = rec["virtual_us"] - crash_base["virtual_us"]
+        rec["recovered_us"] = (None if name == "crash_baseline"
+                               else _recovered_us(rec, crash_threshold))
+        detect = rec["conviction_us"]
+        recovered = rec["recovered_us"]
+        rows.append([
+            name, round(goodput, 2),
+            degradation_pct(goodput, crash_base_goodput),
+            round(recovery, 1),
+            "-" if detect is None else round(detect, 1),
+            "-" if recovered is None else round(recovered, 1),
+            rec["retransmissions"],
+            rec["crash_dropped"],
+            "yes" if rec["intact"] else "NO",
+        ])
+
     result = ExperimentResult(
         experiment="chaos",
         title="Chaos bench: goodput degradation and recovery under"
@@ -285,6 +507,14 @@ def _chaos(values: list, quick: bool) -> ExperimentResult:
         f"workload: {nmsgs} x {CHAOS_BYTES}B LAPI puts (completion-"
         f"waited), seed {CHAOS_SEED:#x}; adaptive RTO auto-enabled by"
         " the installed schedule; deterministic across --jobs N")
+    result.notes.append(
+        "crash_* rows: 3-node put ring under on_peer_failure="
+        "\"continue\"; node 2 fail-stops at"
+        f" {CRASH_AT_US:.0f}us; 'detect us' is the heartbeat"
+        " conviction instant, 'drops' the packets discarded by the"
+        " dead adapter; degradation is vs crash_baseline; the restart"
+        " scenario deliberately lingers past the restart instant to"
+        " observe absolution, which inflates its 'recovery us'")
 
     result.check("baseline runs fault-free",
                  base["retransmissions"] == 0
@@ -340,7 +570,50 @@ def _chaos(values: list, quick: bool) -> ExperimentResult:
                      f"{n}: {points[n]['detection_us']}"
                      f"->{points[n]['recovered_us']}us"
                      for n in curved))
+    # -- fail-stop crash checks ---------------------------------------
+    crash = points["node_crash"]
+    restart = points["node_crash_restart"]
+    result.check("crash baseline is crash-free and intact",
+                 crash_base["intact"]
+                 and not crash_base["convictions"]
+                 and crash_base["crash_dropped"] == 0)
+    result.check("survivors deliver intact data through a crash",
+                 crash["intact"] and restart["intact"])
+    result.check("every survivor convicts the crashed node",
+                 sorted({obs for _, obs, peer
+                         in crash["convictions"]
+                         if peer == CRASH_NODE})
+                 == [n for n in range(CRASH_NNODES)
+                     if n != CRASH_NODE],
+                 str(crash["convictions"]))
+    # Worst-case detection: a peer last heard just after a tick takes
+    # conviction_threshold to go suspect plus up to one heartbeat
+    # period until the next tick looks.
+    from ..machine.config import SP_1998
+    bound = SP_1998.conviction_threshold + SP_1998.heartbeat_period
+    result.check("detection latency within one detection period"
+                 f" (<= {bound:.0f}us)",
+                 crash["detection_latency_us"] is not None
+                 and 0.0 < crash["detection_latency_us"] <= bound,
+                 f"{crash['detection_latency_us']}us")
+    result.check("crash dips survivor goodput, then recovers",
+                 crash["recovered_us"] is not None
+                 and crash["conviction_us"] is not None
+                 and crash["recovered_us"] > CRASH_AT_US,
+                 f"dip {CRASH_AT_US:.0f}"
+                 f"->{crash['recovered_us']}us")
+    result.check("restart absolves the convicted peer",
+                 any(peer == CRASH_NODE
+                     for _, _, peer in restart["recoveries"])
+                 and all(t > RESTART_AT_US
+                         for t, _, _ in restart["recoveries"]),
+                 str(restart["recoveries"]))
+    result.check("conviction captures a flight-recorder dump",
+                 any(d.get("reason") == "peer-convicted"
+                     for d in crash["flight"])
+                 and any(d.get("reason") == "fault-engaged"
+                         for d in crash["flight"]))
     #: Raw per-scenario records (including exact virtual times), used
     #: by ``--faults-out`` so CI can diff determinism byte-for-byte.
-    result.payload = {name: points[name] for name in names}
+    result.payload = {name: points[name] for name in names + crash_names}
     return result

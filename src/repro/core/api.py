@@ -76,7 +76,8 @@ class Lapi:
         #: unreachable.  A truthy return suppresses the failure (the
         #: handler recovered); otherwise the run terminates cleanly
         #: through ``Cluster.fail_run``.
-        self._error_handler = error_handler
+        self._error_handler: Optional[Callable] = None
+        self.register_error_handler(error_handler)
 
     # convenient shorthands ------------------------------------------------
     @property
@@ -137,7 +138,8 @@ class Lapi:
             timeout=cfg.lapi_retrans_timeout,
             adaptive=adaptive, rto_min=cfg.rto_min,
             rto_max=cfg.rto_max, backoff=cfg.rto_backoff,
-            degraded_after=cfg.peer_degraded_after)
+            degraded_after=cfg.peer_degraded_after,
+            retry_budget=cfg.retry_budget)
         self.dispatcher = Dispatcher(self)
         self.transport.wait_credit = self._wait_credit
         self.transport.on_progress = self.ctx.progress_ws.notify_all
@@ -146,6 +148,9 @@ class Lapi:
         self.client.on_arrival = self._spawn_interrupt_dispatcher
         self.client.interrupts_enabled = self.interrupt_mode
         self._register_metrics()
+        resilience = self.task.cluster.resilience
+        if resilience is not None:
+            resilience.attach_stack(self.task.node.node_id, self)
         self._initialized = True
 
     def _register_metrics(self) -> None:
@@ -205,15 +210,78 @@ class Lapi:
         no handler registered -- the run terminates cleanly through
         :meth:`repro.machine.cluster.Cluster.fail_run` with the error's
         node/peer/attempt context intact.
+
+        The handler must be callable (validated here, at registration,
+        so a bad handler fails loudly at ``LAPI_Init`` instead of
+        silently at first-failure time deep in a kernel callback).
         """
+        if fn is not None and not callable(fn):
+            raise LapiError(
+                f"LAPI error handler must be callable, got"
+                f" {type(fn).__name__}")
         self._error_handler = fn
 
     def _transport_fatal(self, err) -> None:
-        """Terminal transport failure: user handler, then fail_run."""
+        """Terminal transport failure: user handler, then fail_run.
+
+        The handler runs inside a bare kernel timer callback (the
+        retransmit timer) or a detector conviction, so an exception it
+        raises must not escape: it is captured, chained to the original
+        transport error (``__cause__``), and routed through
+        ``Cluster.fail_run`` like the failure it was handling.
+        """
         handler = self._error_handler
-        if handler is not None and handler(err):
-            return
+        if handler is not None:
+            try:
+                if handler(err):
+                    return
+            except BaseException as handler_exc:
+                handler_exc.__cause__ = err
+                self.task.cluster.fail_run(handler_exc)
+                return
         self.task.cluster.fail_run(err)
+
+    # ------------------------------------------------------------------
+    # failure-detector integration (called by repro.resilience)
+    # ------------------------------------------------------------------
+    def peer_unreachable(self, peer: int, err) -> None:
+        """The failure detector convicted ``peer``.
+
+        Crash-aware cleanup first (always): the peer joins
+        ``ctx.dead_peers`` (gfence rounds stop waiting for its token),
+        the transport's circuit breaker opens and in-flight operations
+        toward it complete in error (counters fire, credits post), and
+        progress waiters are notified so blocked predicates re-check.
+        Then policy: under ``on_peer_failure="fail"`` the error routes
+        through the registered handler and ``Cluster.fail_run``; under
+        ``"continue"`` the survivors keep running degraded.
+        """
+        self.ctx.dead_peers.add(peer)
+        self.transport.peer_down(peer)
+        self.ctx.progress_ws.notify_all()
+        if self.task.cluster.on_peer_failure == "fail":
+            self._transport_fatal(err)
+
+    def peer_absolved(self, peer: int) -> None:
+        """The detector heard from a convicted peer again (machine
+        restart): close the breaker.  The peer's *task* stays dead, so
+        it remains in ``dead_peers`` -- reachability is not
+        resurrection."""
+        self.transport.breaker_close(peer)
+
+    def crash_reset(self) -> None:
+        """This stack's own node restarted after a fail-stop crash:
+        clear all protocol state (the restarted machine has no memory
+        of in-flight transfers)."""
+        self.transport._tx.clear()
+        self.transport._rx.clear()
+        ctx = self.ctx
+        ctx.send_msgs.clear()
+        ctx.recv_asm.clear()
+        ctx.pending_gets.clear()
+        ctx.pending_rmws.clear()
+        ctx.outstanding.clear()
+        ctx.barrier_tokens.clear()
 
     def _ack_fast_path(self, packet) -> bool:
         """Adapter-level handling of transport acknowledgements.

@@ -76,7 +76,7 @@ class _PeerTx:
 
     __slots__ = ("next_seq", "unacked", "window", "timer_running",
                  "attempts", "srtt", "rttvar", "rto", "backoff_mult",
-                 "health")
+                 "health", "breaker_open")
 
     def __init__(self, sim: "Simulator", window: int, name: str,
                  rto: float) -> None:
@@ -97,6 +97,12 @@ class _PeerTx:
         #: round, resets to 1.0 on any fresh acknowledgement.
         self.backoff_mult = 1.0
         self.health = HEALTHY
+        #: Circuit breaker: True once the peer is convicted (by the
+        #: failure detector) or exhausts its retry budget.  Open, data
+        #: sends fail fast and control sends are suppressed -- no more
+        #: retransmit storms toward a dead peer.  Closed again when the
+        #: detector absolves the peer after a machine restart.
+        self.breaker_open = False
 
 
 class _PeerRx:
@@ -123,18 +129,22 @@ class _PeerRx:
 class ReliableTransport:
     """Sequencing + ack + retransmission for one protocol stack."""
 
-    #: Retransmissions of one packet before the transport declares the
-    #: peer unreachable.  Real transports give up too; in the model the
-    #: overwhelmingly common cause is a program bug (mismatched
-    #: collectives leaving one task retransmitting to a terminated
-    #: peer), and a loud error beats an eternal silent retry loop.
+    #: Default retransmission budget for one packet before the
+    #: transport declares the peer unreachable.  Real transports give
+    #: up too; in the model the overwhelmingly common cause is a
+    #: program bug (mismatched collectives leaving one task
+    #: retransmitting to a terminated peer), and a loud error beats an
+    #: eternal silent retry loop.  Configurable per transport via the
+    #: ``retry_budget`` constructor argument
+    #: (``MachineConfig.retry_budget``).
     MAX_RETRANSMITS_PER_PACKET = 50
 
     def __init__(self, sim: "Simulator", adapter: "Adapter", proto: str,
                  *, window: int, timeout: float, ack_kind: str = "ack",
                  adaptive: bool = False, rto_min: float = 200.0,
                  rto_max: float = 30000.0, backoff: float = 2.0,
-                 degraded_after: int = 3) -> None:
+                 degraded_after: int = 3,
+                 retry_budget: Optional[int] = None) -> None:
         self.sim = sim
         self.adapter = adapter
         self.proto = proto
@@ -150,6 +160,11 @@ class ReliableTransport:
         self.rto_max = rto_max
         self.backoff = backoff
         self.degraded_after = degraded_after
+        #: Retransmissions of one packet before giving up on the peer;
+        #: ``None`` falls back to ``MAX_RETRANSMITS_PER_PACKET`` at
+        #: check time (instance overrides of the class cap keep
+        #: working).
+        self._retry_budget = retry_budget
         self._tx: dict[int, _PeerTx] = {}
         self._rx: dict[int, _PeerRx] = {}
         #: Called with (packet) after every retransmission (stats hooks).
@@ -193,6 +208,15 @@ class ReliableTransport:
         self.peer_recovered_events = 0
         #: Peers declared unreachable (terminal).
         self.peers_unreachable = 0
+        #: Circuit-breaker transitions and consequences: opens
+        #: (conviction or retry-budget exhaustion), closes (peer
+        #: absolved after a machine restart), control packets
+        #: suppressed while open, and in-flight operations completed
+        #: in error when a conviction cleared their entries.
+        self.breaker_opens = 0
+        self.breaker_closes = 0
+        self.breaker_suppressed = 0
+        self.completed_in_error = 0
         #: Optional :class:`repro.obs.Histogram` observing the
         #: virtual-time gap between a packet's (latest) injection and
         #: its acknowledgement.  Installed by the owning stack.
@@ -209,6 +233,13 @@ class ReliableTransport:
         self.retx_stream = None
 
     # ------------------------------------------------------------------
+    @property
+    def retry_budget(self) -> int:
+        """Effective per-packet retransmission cap."""
+        if self._retry_budget is not None:
+            return self._retry_budget
+        return self.MAX_RETRANSMITS_PER_PACKET
+
     def _peer_tx(self, peer: int) -> _PeerTx:
         st = self._tx.get(peer)
         if st is None:
@@ -251,9 +282,13 @@ class ReliableTransport:
         """Send a data packet from a CPU thread, honouring the window.
 
         Blocks (in virtual time) while the peer's send window is full.
-        ``on_ack`` fires when this packet is acknowledged.
+        ``on_ack`` fires when this packet is acknowledged.  Raises
+        :class:`PeerUnreachableError` immediately (fail fast, no
+        retransmit storm) while the peer's circuit breaker is open.
         """
         st = self._peer_tx(packet.dst)
+        if st.breaker_open:
+            raise self._breaker_error(packet.dst)
         credit = st.window.wait()
         if not credit.triggered:
             yield from self.wait_credit(thread, credit)
@@ -266,8 +301,15 @@ class ReliableTransport:
 
         Callable from dispatcher context (no thread, never blocks); the
         adapter reserves control slots so injection always succeeds.
+        While the peer's circuit breaker is open the packet is
+        *suppressed* (counted, never injected, ``on_ack`` never fires):
+        dispatcher context cannot absorb an exception, and a dead peer
+        will not answer anyway.
         """
         st = self._peer_tx(packet.dst)
+        if st.breaker_open:
+            self.breaker_suppressed += 1
+            return
         self._register(st, packet, uses_window=False, on_ack=on_ack)
         self.adapter.inject_control(packet)
 
@@ -313,6 +355,12 @@ class ReliableTransport:
         :meth:`Adapter.inject_control`.
         """
         peer, st = peer_st
+        if self.adapter.crashed or st.breaker_open:
+            # This node died (its timers die with it) or the peer was
+            # convicted and its in-flight state already cleared: either
+            # way the chain ends here.
+            st.timer_running = False
+            return
         now = self.sim.now
         retransmitted_any = False
         for seq in sorted(st.unacked):
@@ -321,7 +369,7 @@ class ReliableTransport:
             if deadline > now:
                 continue
             tries = st.attempts.get(seq, 0) + 1
-            if tries > self.MAX_RETRANSMITS_PER_PACKET:
+            if tries > self.retry_budget:  # property: config or class cap
                 self._peer_fatal(peer, st, pkt, tries)
                 return
             if uses_window:
@@ -376,6 +424,9 @@ class ReliableTransport:
         """
         st.health = UNREACHABLE
         st.timer_running = False
+        if not st.breaker_open:
+            st.breaker_open = True
+            self.breaker_opens += 1
         self.peers_unreachable += 1
         for _, (_, _, uses_window, _, _) in sorted(st.unacked.items()):
             if uses_window:
@@ -392,6 +443,7 @@ class ReliableTransport:
         err.node = self.adapter.node_id
         err.peer = peer
         err.attempts = tries - 1
+        err.via = "retries"
         flight = self.sim.flight
         if flight is not None:
             # Black-box dump before the error routes anywhere: the ring
@@ -405,6 +457,66 @@ class ReliableTransport:
             self.on_fatal(err)
         else:
             raise err
+
+    # ------------------------------------------------------------------
+    # failure-detector integration (circuit breaker)
+    # ------------------------------------------------------------------
+    def peer_down(self, peer: int) -> None:
+        """The failure detector convicted ``peer``: open the breaker.
+
+        Clears all in-flight state toward the peer so blocked
+        primitives resolve promptly instead of timing out one by one:
+        window credits are posted (blocked senders wake), every cleared
+        entry's ``on_ack`` fires as a *completion in error* (counted --
+        counters advance so waiters unblock; the data was **not**
+        delivered), and ``on_progress`` is notified so predicate
+        waiters re-evaluate.  Idempotent.
+        """
+        st = self._peer_tx(peer)
+        if st.breaker_open:
+            return
+        st.breaker_open = True
+        self.breaker_opens += 1
+        if st.health != UNREACHABLE:
+            st.health = UNREACHABLE
+            self.peers_unreachable += 1
+        st.timer_running = False
+        cleared = sorted(st.unacked.items())
+        st.unacked.clear()
+        st.attempts.clear()
+        for _, (_, _, uses_window, on_ack, _) in cleared:
+            if uses_window:
+                st.window.post()
+            if on_ack is not None:
+                self.completed_in_error += 1
+                on_ack()
+        if self.on_progress is not None:
+            self.on_progress()
+
+    def breaker_close(self, peer: int) -> None:
+        """The detector absolved ``peer`` (machine restart): close the
+        breaker so control traffic flows again.  Idempotent."""
+        st = self._tx.get(peer)
+        if st is None or not st.breaker_open:
+            return
+        st.breaker_open = False
+        st.health = HEALTHY
+        st.backoff_mult = 1.0
+        self.breaker_closes += 1
+
+    def breaker_is_open(self, peer: int) -> bool:
+        st = self._tx.get(peer)
+        return st.breaker_open if st is not None else False
+
+    def _breaker_error(self, peer: int) -> PeerUnreachableError:
+        err = PeerUnreachableError(
+            f"{self.proto}@{self.adapter.node_id}: peer node {peer} is"
+            " unreachable (circuit breaker open -- the failure detector"
+            " convicted it or its retry budget is exhausted)")
+        err.proto = self.proto
+        err.node = self.adapter.node_id
+        err.peer = peer
+        return err
 
     # ------------------------------------------------------------------
     # receive side
@@ -544,6 +656,30 @@ class ReliableTransport:
             out["peer_recovered_events"] = self.peer_recovered_events
         if self.peers_unreachable:
             out["peers_unreachable"] = self.peers_unreachable
+        if self.breaker_opens:
+            out["breaker_opens"] = self.breaker_opens
+        if self.breaker_closes:
+            out["breaker_closes"] = self.breaker_closes
+        if self.breaker_suppressed:
+            out["breaker_suppressed"] = self.breaker_suppressed
+        if self.completed_in_error:
+            out["completed_in_error"] = self.completed_in_error
+        if self.adaptive:
+            # Peer-health gauges: adaptive mode only (it is what drives
+            # the health machine), so fixed-timeout fault-free runs keep
+            # their historical metrics blocks byte-identical.
+            counts = {HEALTHY: 0, DEGRADED: 0, UNREACHABLE: 0}
+            states = []
+            for peer in sorted(self._tx):
+                health = self._tx[peer].health
+                counts[health] += 1
+                states.append(f"{peer}:{health}")
+            out["peers_healthy"] = counts[HEALTHY]
+            out["peers_degraded"] = counts[DEGRADED]
+            out["peers_unreachable_now"] = counts[UNREACHABLE]
+            # Flat string, not a nested dict: the text renderer treats
+            # dict values as histogram snapshots.
+            out["peer_health_states"] = ",".join(states)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

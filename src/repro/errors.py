@@ -60,16 +60,26 @@ class PeerUnreachableError(NetworkError):
     """The reliable transport gave up on a peer after exhausting
     retransmissions.
 
+    The reliable transport raises it after exhausting its retry budget
+    toward a peer; the failure detector (``repro.resilience``) raises
+    it on *conviction* -- a peer silent past the configured threshold.
+
     Constructed with the message only (so the exception survives
-    pickling across sweep-engine worker processes); the transport sets
-    the structured context -- ``proto``, ``node``, ``peer``,
-    ``attempts`` -- as attributes after construction.
+    pickling across sweep-engine worker processes); the transport or
+    detector sets the structured context as attributes after
+    construction: ``proto``, ``node``, ``peer``, ``attempts``, and --
+    when the detector convicted -- ``via`` (``"heartbeat"`` vs
+    ``"retries"``), ``last_heard_us`` (virtual time the peer was last
+    heard from) and ``convicted_us`` (conviction instant).
     """
 
     proto: str = ""
     node: int = -1
     peer: int = -1
     attempts: int = 0
+    via: str = "retries"
+    last_heard_us: float = -1.0
+    convicted_us: float = -1.0
 
 
 class LapiError(ReproError):

@@ -2,18 +2,18 @@
 
 Declarative fault scenarios for the simulated SP: bursty per-link loss
 (Gilbert-Elliott), timed link outages, asymmetric ack loss, payload
-corruption caught by the receive-side CRC check, and per-node CPU
-pause/slowdown windows.  Build a :class:`FaultSchedule` from clauses
-and hand it to ``Cluster(..., faults=schedule)``; see
-``docs/reliability.md`` for the model and the adaptive retransmission
-machinery that survives it.
+corruption caught by the receive-side CRC check, per-node CPU
+pause/slowdown windows, and fail-stop node crashes with optional
+restart.  Build a :class:`FaultSchedule` from clauses and hand it to
+``Cluster(..., faults=schedule)``; see ``docs/reliability.md`` for the
+model and the adaptive retransmission machinery that survives it.
 """
 
 from .runtime import FaultRuntime
 from .schedule import (AckLoss, Corruption, CpuDegrade, CpuPause,
                        FaultClause, FaultSchedule, GilbertElliott,
-                       LinkOutage)
+                       LinkOutage, NodeCrash, NodeRestart)
 
 __all__ = ["FaultSchedule", "FaultClause", "GilbertElliott",
            "LinkOutage", "AckLoss", "Corruption", "CpuPause",
-           "CpuDegrade", "FaultRuntime"]
+           "CpuDegrade", "NodeCrash", "NodeRestart", "FaultRuntime"]

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+import math
+
 from ..errors import MachineError
 from .schedule import (AckLoss, Corruption, FaultSchedule, GilbertElliott,
                        LinkOutage, _CpuClause, _LinkClause)
@@ -131,11 +133,30 @@ class FaultRuntime:
         self.ack_drops = 0
         self.crc_drops = 0
         #: Virtual time of the first fault that actually engaged (first
-        #: drop or CRC discard), or None on a clean run.  This is the
-        #: chaos bench's *detection* timestamp -- deliberately not part
-        #: of :meth:`metrics` so historical ``--metrics`` blocks stay
-        #: byte-identical.
+        #: drop, CRC discard, or node crash), or None on a clean run.
+        #: This is the chaos bench's *detection* timestamp --
+        #: deliberately not part of :meth:`metrics` so historical
+        #: ``--metrics`` blocks stay byte-identical.
         self.first_fault_us: Optional[float] = None
+
+        # Fail-stop crash windows (resolved + validated by the
+        # schedule): {node: [(crash_at, restart_at_or_inf), ...]}.
+        self.crash_windows = schedule.crash_windows
+        for nid in self.crash_windows:
+            if not (0 <= nid < nnodes):
+                raise MachineError(
+                    f"NodeCrash: node {nid} outside cluster of"
+                    f" {nnodes} nodes")
+        #: True when the schedule fail-stops at least one node; the
+        #: cluster auto-arms the failure detector off this flag.
+        self.has_crashes = bool(self.crash_windows)
+        self.node_crashes = 0
+        self.node_restarts = 0
+        self.threads_killed = 0
+        #: Crash/restart instants in firing order:
+        #: ``(t_us, node, "crash" | "restart")``.
+        self.crash_events: list[tuple[float, int, str]] = []
+        self.cluster = cluster
 
         # Hook into the machine layer.
         cluster.switch.faults = self
@@ -145,6 +166,13 @@ class FaultRuntime:
             if cpu_faults is not None:
                 node.cpu.faults = cpu_faults
         cluster.metrics.register_collector("faults", self.metrics)
+        # Post the crash/restart instants as bare kernel callbacks now;
+        # install runs at sim.now == 0 and crash starts are > 0.
+        for nid, windows in self.crash_windows.items():
+            for crash_at, restart_at in windows:
+                self.sim.call_at(crash_at, self._crash_node, nid)
+                if math.isfinite(restart_at):
+                    self.sim.call_at(restart_at, self._restart_node, nid)
 
     # ------------------------------------------------------------------
     # fabric path (called by Switch.route)
@@ -238,6 +266,49 @@ class FaultRuntime:
                            dst=packet.dst)
 
     # ------------------------------------------------------------------
+    # fail-stop crash hooks (bare kernel callbacks posted at install)
+    # ------------------------------------------------------------------
+    def _crash_node(self, node_id: int) -> None:
+        """Fail-stop ``node_id`` at the scheduled instant."""
+        now = self.sim.now
+        node = self.cluster.nodes[node_id]
+        killed = node.crash()
+        self.node_crashes += 1
+        self.threads_killed += killed
+        self.crash_events.append((now, node_id, "crash"))
+        if self.first_fault_us is None:
+            self.first_fault_us = now
+        sp = self.sim.spans
+        if sp is not None:
+            sp.emit(node_id, "faults", "crash", "fault", now, now)
+        flight = self.sim.flight
+        if flight is not None:
+            flight.note(node_id, "faults", "node.crash",
+                        threads_killed=killed)
+            flight.trigger("fault-engaged", key=("crash", node_id),
+                           verdict="crash", node=node_id,
+                           threads_killed=killed)
+        res = self.cluster.resilience
+        if res is not None:
+            res.node_crashed(node_id, now)
+
+    def _restart_node(self, node_id: int) -> None:
+        """Machine-level restart of ``node_id`` at the scheduled instant."""
+        now = self.sim.now
+        self.cluster.nodes[node_id].restart()
+        self.node_restarts += 1
+        self.crash_events.append((now, node_id, "restart"))
+        sp = self.sim.spans
+        if sp is not None:
+            sp.emit(node_id, "faults", "restart", "fault", now, now)
+        flight = self.sim.flight
+        if flight is not None:
+            flight.note(node_id, "faults", "node.restart")
+        res = self.cluster.resilience
+        if res is not None:
+            res.node_restarted(node_id, now)
+
+    # ------------------------------------------------------------------
     def metrics(self) -> dict:
         """Counter block for the observability registry (collector)."""
         out = {
@@ -250,6 +321,13 @@ class FaultRuntime:
         }
         stall = sum(cf.stall_us for cf in self._cpu.values())
         out["cpu_stall_us"] = round(stall, 6)
+        # Crash counters appear only for schedules that fail-stop a
+        # node, keeping non-crash fault metrics blocks byte-identical
+        # to their historical output.
+        if self.node_crashes:
+            out["node_crashes"] = self.node_crashes
+            out["node_restarts"] = self.node_restarts
+            out["threads_killed"] = self.threads_killed
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -29,7 +29,8 @@ from typing import Optional, Sequence
 from ..errors import MachineError
 
 __all__ = ["FaultClause", "GilbertElliott", "LinkOutage", "AckLoss",
-           "Corruption", "CpuPause", "CpuDegrade", "FaultSchedule"]
+           "Corruption", "CpuPause", "CpuDegrade", "NodeCrash",
+           "NodeRestart", "FaultSchedule"]
 
 
 def _check_window(name: str, start: float, end: float) -> None:
@@ -227,6 +228,108 @@ class CpuDegrade(_CpuClause):
         return 1.0 / self.factor
 
 
+@dataclass(frozen=True)
+class NodeCrash(FaultClause):
+    """Fail-stop crash of one node at ``start``.
+
+    At the crash instant every thread on ``node`` is killed at its
+    current yield point (fail-stop: no cleanup code runs), the adapter
+    drops all in-flight TX/RX traffic and stops acknowledging, and the
+    node goes silent.  A finite ``end`` restarts the *machine* at that
+    time (adapter alive and answering heartbeats again, protocol state
+    cleared); ``end=inf`` keeps the node dead for the rest of the run.
+    Restart is machine-level only -- the SPMD task that was running on
+    the node stays dead, which is exactly the fail-stop model: the
+    survivors' view is "peer died, then its hardware came back".
+    """
+
+    node: int = 0
+
+    def validate(self) -> None:
+        _check_window("NodeCrash", self.start, self.end)
+        if self.node < 0:
+            raise MachineError("NodeCrash: node must be >= 0")
+        if self.start <= 0.0:
+            raise MachineError(
+                "NodeCrash: start must be > 0 (a node cannot crash"
+                " before the run begins)")
+
+    def dead_window(self) -> tuple:
+        return (self.start, self.end)
+
+
+@dataclass(frozen=True)
+class NodeRestart(FaultClause):
+    """Close an open-ended :class:`NodeCrash` on the same node.
+
+    Sugar for scenarios that list the crash and the restart as two
+    events: ``NodeRestart(node=2, start=t)`` turns a preceding
+    ``NodeCrash(node=2, start=s)`` with ``end=inf`` into a crash
+    window ``[s, t)``.  The schedule rejects a restart with no
+    matching open crash, or one inside a finite crash window.
+    """
+
+    node: int = 0
+
+    def validate(self) -> None:
+        if not (math.isfinite(self.start) and self.start > 0.0):
+            raise MachineError(
+                f"NodeRestart: start must be finite and > 0,"
+                f" got {self.start}")
+        if self.node < 0:
+            raise MachineError("NodeRestart: node must be >= 0")
+
+
+def compile_crash_windows(clauses: Sequence[FaultClause]) -> dict:
+    """Resolve NodeCrash/NodeRestart clauses into per-node windows.
+
+    Returns ``{node: [(crash_at, restart_at_or_inf), ...]}`` with the
+    windows sorted and validated non-overlapping.  Shared between
+    schedule validation and :class:`~repro.faults.runtime.FaultRuntime`
+    so both agree on the semantics.
+    """
+    crashes: dict = {}
+    for clause in clauses:
+        if isinstance(clause, NodeCrash):
+            crashes.setdefault(clause.node, []).append(
+                [clause.start, clause.end])
+    for clause in clauses:
+        if not isinstance(clause, NodeRestart):
+            continue
+        windows = crashes.get(clause.node)
+        match = None
+        for win in (windows or ()):
+            if win[0] < clause.start and not math.isfinite(win[1]):
+                if match is not None:
+                    raise MachineError(
+                        f"NodeRestart(node={clause.node},"
+                        f" start={clause.start}): ambiguous -- several"
+                        " open-ended NodeCrash windows precede it")
+                match = win
+            elif win[0] < clause.start <= win[1]:
+                raise MachineError(
+                    f"NodeRestart(node={clause.node},"
+                    f" start={clause.start}): falls inside the finite"
+                    f" crash window [{win[0]}, {win[1]}) -- drop the"
+                    " restart or the crash end")
+        if match is None:
+            raise MachineError(
+                f"NodeRestart(node={clause.node}, start={clause.start}):"
+                " no preceding open-ended NodeCrash on that node")
+        match[1] = clause.start
+    out: dict = {}
+    for node, windows in sorted(crashes.items()):
+        windows = sorted((w[0], w[1]) for w in windows)
+        for a, b in zip(windows, windows[1:]):
+            if b[0] < a[1]:
+                raise MachineError(
+                    f"FaultSchedule: overlapping crash windows"
+                    f" [{a[0]}, {a[1]}) and [{b[0]}, {b[1]}) for node"
+                    f" {node} -- merge or separate them")
+        out[node] = windows
+    return out
+
+
 def _reject_overlaps(kind: str, clauses: Sequence[FaultClause],
                      key_fn) -> None:
     """Reject clauses of one family whose windows overlap per key.
@@ -280,6 +383,8 @@ class FaultSchedule:
             "CPU",
             [c for c in clauses if isinstance(c, _CpuClause)],
             lambda c: c.node)
+        # Resolve + validate crash/restart pairing and window overlap.
+        self.crash_windows = compile_crash_windows(clauses)
         self.clauses = clauses
 
     def __len__(self) -> int:

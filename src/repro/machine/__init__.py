@@ -13,7 +13,7 @@ Hardware model used by every protocol stack in the reproduction:
 from .adapter import Adapter, AdapterClient
 from .cluster import Cluster, Task
 from .config import SP_1998, MachineConfig
-from .cpu import HANDLER, INTERRUPT, NORMAL, Cpu, Thread
+from .cpu import HANDLER, INTERRUPT, NORMAL, TASK_CRASHED, Cpu, Thread
 from .memory import Memory
 from .node import Node
 from .packet import Packet
@@ -39,6 +39,7 @@ __all__ = [
     "SerialResource",
     "snapshot",
     "Switch",
+    "TASK_CRASHED",
     "Task",
     "Thread",
     "Topology",

@@ -117,6 +117,10 @@ class Adapter:
         #: schedule is installed on the cluster.  Disables the analytic
         #: train fast path and accounts CRC discards.
         self.faults = None
+        #: True while the node is fail-stop dead: every arriving or
+        #: queued packet is dropped, nothing is acknowledged, and
+        #: injection is refused.  Cleared by :meth:`restart`.
+        self.crashed = False
         # Statistics
         self.packets_sent = 0
         self.packets_received = 0
@@ -124,6 +128,11 @@ class Adapter:
         #: Packets discarded by the receive-side CRC check (payload
         #: corruption injected by a fault schedule).
         self.rx_crc_dropped = 0
+        #: Packets dropped because this node was crashed: arrivals
+        #: (and in-flight receive DMA) on the RX side, queued or
+        #: serializing packets on the TX side.
+        self.rx_crash_dropped = 0
+        self.tx_crash_dropped = 0
         #: Fast-path diagnostics (kept out of :meth:`metrics` so the
         #: observability snapshot is independent of ``fast_trains``):
         #: trains collapsed by the TX engine and interior packets they
@@ -182,7 +191,57 @@ class Adapter:
         }
         if self.rx_crc_dropped:
             out["rx_crc_dropped"] = self.rx_crc_dropped
+        if self.rx_crash_dropped:
+            out["rx_crash_dropped"] = self.rx_crash_dropped
+        if self.tx_crash_dropped:
+            out["tx_crash_dropped"] = self.tx_crash_dropped
         return out
+
+    # ------------------------------------------------------------------
+    # fail-stop crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: go dark on both paths.
+
+        Queued TX packets are dropped (their FIFO credits returned so
+        the semaphore's accounting survives a later restart), every
+        client's RX FIFO is flushed, and the ``crashed`` gates in the
+        deliver/enqueue/inject paths drop everything that arrives while
+        dead -- including receive-DMA completions already in flight.
+        The TX engine process stays parked on its empty queue, which is
+        what lets :meth:`restart` resume control-packet service without
+        respawning anything.
+        """
+        self.crashed = True
+        while True:
+            ok, item = self._tx_queue.try_get()
+            if not ok:
+                break
+            self.tx_crash_dropped += 1
+            if item[1]:
+                self._tx_credits.post()
+        for client in self.clients.values():
+            while client.rx.try_get()[0]:
+                self.rx_crash_dropped += 1
+            # The stacks these hooks belong to are dead: no interrupt
+            # may spawn a dispatcher on the crashed CPU, and no
+            # delivery filter may touch dead transport state.  The
+            # resilience runtime re-installs its own responder filter
+            # on restart; stack hooks stay dead (fail-stop).
+            client.on_arrival = None
+            client.delivery_filter = None
+            client._armed = True
+
+    def restart(self) -> None:
+        """Bring the machine back after a fail-stop crash.
+
+        Machine-level only: the adapter accepts and acknowledges
+        traffic again (heartbeat responders run through delivery
+        filters, no CPU thread needed), but threads killed by the
+        crash stay dead.  Protocol-stack state is cleared by the
+        resilience runtime, not here.
+        """
+        self.crashed = False
 
     # ------------------------------------------------------------------
     # transmit path
@@ -214,6 +273,9 @@ class Adapter:
         if self.switch is None:
             raise NetworkError(f"adapter {self.node_id} not connected")
         packet.validate(self.config.packet_size)
+        if self.crashed:
+            self.tx_crash_dropped += 1
+            return False
         if not self._tx_credits.try_wait():
             return False
         self._tx_queue.put((packet, True))
@@ -234,6 +296,9 @@ class Adapter:
         if self.switch is None:
             raise NetworkError(f"adapter {self.node_id} not connected")
         packet.validate(self.config.packet_size)
+        if self.crashed:  # dead nodes do not acknowledge
+            self.tx_crash_dropped += 1
+            return
         self._tx_queue.put((packet, False))
         sp = self.sim.spans
         if sp is not None:
@@ -283,6 +348,13 @@ class Adapter:
 
     def _tx_complete(self, packet: "Packet", took_credit: bool) -> None:
         """TX bookkeeping at a packet's serialization-complete instant."""
+        if self.crashed:
+            # The node died while this packet was on the DMA engine:
+            # it never reaches the wire.
+            self.tx_crash_dropped += 1
+            if took_credit:
+                self._tx_credits.post()
+            return
         self.packets_sent += 1
         if self.trace is not None and self.trace.wants("tx"):
             self.trace.log(self.sim.now, f"adapter{self.node_id}",
@@ -444,6 +516,9 @@ class Adapter:
     # ------------------------------------------------------------------
     def deliver(self, packet: "Packet") -> None:
         """Called by the switch when a packet arrives at this node."""
+        if self.crashed:
+            self._crash_drop_rx(packet)
+            return
         now = self.sim.now
         sp = self.sim.spans
         if sp is not None:
@@ -463,6 +538,9 @@ class Adapter:
         recovers it, exactly as for a fabric drop, except the waste is
         maximal (the whole wire path was paid for nothing).
         """
+        if self.crashed:
+            self._crash_drop_rx(packet)
+            return
         now = self.sim.now
         sp = self.sim.spans
         if sp is not None:
@@ -484,7 +562,22 @@ class Adapter:
         if sp is not None:
             sp.packet_corrupted(packet, self.sim.now)
 
+    def _crash_drop_rx(self, packet: "Packet") -> None:
+        """Drop an arrival (or in-flight receive DMA) on a dead node."""
+        self.rx_crash_dropped += 1
+        if self.trace is not None and self.trace.wants("rxdrop"):
+            self.trace.log(self.sim.now, f"adapter{self.node_id}",
+                           "rxdrop", f"{packet!r} [crashed]",
+                           crashed=True, **packet.trace_fields())
+        sp = self.sim.spans
+        if sp is not None:
+            sp.packet_dropped(packet, self.sim.now)
+
     def _enqueue(self, packet: "Packet") -> None:
+        if self.crashed:
+            # Receive DMA was in flight when the node died.
+            self._crash_drop_rx(packet)
+            return
         client = self.clients.get(packet.proto)
         if client is None:
             raise NetworkError(

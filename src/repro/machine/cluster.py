@@ -149,11 +149,30 @@ class Cluster:
         #: Terminal error recorded by :meth:`fail_run`; checked by the
         #: :meth:`run_job` event loop after every kernel step.
         self._fatal: Optional[BaseException] = None
+        #: Survivor policy for convicted peers; set per job by
+        #: :meth:`run_job` (``on_peer_failure``).  "fail" terminates the
+        #: run with the conviction error, "continue" lets survivors keep
+        #: running against the reduced peer set.
+        self.on_peer_failure = "fail"
+        #: Heartbeat failure detector (:mod:`repro.resilience`), or
+        #: None.  Armed below, after faults install, because the auto
+        #: rule depends on whether the schedule carries node crashes.
+        self.resilience = None
         #: Compiled fault runtime (:mod:`repro.faults`), or None.  An
         #: installed schedule hooks the switch/adapters/CPUs above and
         #: flips the reliable transports into adaptive-RTO mode; no
         #: schedule (or an empty one) leaves every hot path untouched.
         self.faults = faults.install(self) if faults is not None else None
+        # Auto rule mirrors adaptive-RTO's: the detector arms exactly
+        # when the fault schedule can kill a node.  Fault-free runs (and
+        # fault runs without crashes) carry zero heartbeat traffic, so
+        # their event streams stay byte-identical to pre-detector trees.
+        detector = config.failure_detector
+        if detector is None:
+            detector = self.faults is not None and self.faults.has_crashes
+        if detector:
+            from ..resilience import ResilienceRuntime
+            self.resilience = ResilienceRuntime(self)
 
     def fail_run(self, err: BaseException) -> None:
         """Terminate the running job cleanly with ``err``.
@@ -204,7 +223,8 @@ class Cluster:
                 eager_limit: Optional[int] = None,
                 max_events: Optional[int] = None,
                 until: Optional[float] = None,
-                error_handler: Optional[Callable] = None) -> list[Any]:
+                error_handler: Optional[Callable] = None,
+                on_peer_failure: str = "fail") -> list[Any]:
         """Run ``fn`` as an SPMD job; returns per-rank return values.
 
         Parameters
@@ -235,7 +255,18 @@ class Cluster:
             LAPI error handler registered at ``LAPI_Init`` time on
             every task (``fn(err) -> bool``); see
             :meth:`repro.core.api.Lapi.register_error_handler`.
+        on_peer_failure:
+            Survivor policy when the failure detector convicts a peer:
+            ``"fail"`` (default) terminates the job with a structured
+            :class:`~repro.errors.PeerUnreachableError`; ``"continue"``
+            degrades gracefully -- blocked primitives involving the dead
+            peer resolve and the survivors keep running.
         """
+        if on_peer_failure not in ("fail", "continue"):
+            raise MachineError(
+                f"unknown on_peer_failure policy {on_peer_failure!r}"
+                " (expected 'fail' or 'continue')")
+        self.on_peer_failure = on_peer_failure
         size = ntasks if ntasks is not None else self.nnodes
         if size > self.nnodes:
             raise MachineError(

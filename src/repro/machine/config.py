@@ -216,6 +216,28 @@ class MachineConfig:
     #: the peer *degraded* (health state machine; the peer returns to
     #: *healthy* on the next fresh acknowledgement).
     peer_degraded_after: int = 3
+    #: Retransmission attempts for one packet before the transport gives
+    #: up and declares the peer unreachable (the retry budget; the
+    #: historical hardwired cap was 50).
+    retry_budget: int = 50
+
+    # ------------------------------------------------------------------
+    # Failure detection (repro.resilience; see docs/reliability.md).
+    # ``failure_detector=None`` means *auto*: the heartbeat detector is
+    # armed exactly when the installed fault schedule fail-stops a node
+    # (NodeCrash clauses), so every other run -- including non-crash
+    # fault scenarios -- keeps its virtual-time trajectory bit-for-bit.
+    # ``True``/``False`` force the choice either way.
+    # ------------------------------------------------------------------
+    failure_detector: Optional[bool] = None
+    #: Heartbeat period: every node pings every peer this often
+    #: (virtual us) through an adapter-assisted responder.
+    heartbeat_period: float = 400.0
+    #: Silence threshold: a peer not heard from for this long is
+    #: *convicted* (declared fail-stop dead) and every primitive blocked
+    #: on it resolves with ``PeerUnreachableError``.  Worst-case
+    #: detection latency is ``conviction_threshold + heartbeat_period``.
+    conviction_threshold: float = 2000.0
 
     # ------------------------------------------------------------------
     # MPL / MPI protocol constants (the baseline stack)
@@ -360,6 +382,29 @@ class MachineConfig:
                 f" got {self.rto_backoff}")
         if self.peer_degraded_after < 1:
             raise ValueError("peer_degraded_after must be >= 1")
+        if self.retry_budget < 1:
+            raise ValueError(
+                f"retry_budget must be >= 1, got {self.retry_budget}")
+        if not (self.heartbeat_period > 0
+                and math.isfinite(self.heartbeat_period)):
+            raise ValueError(
+                f"heartbeat_period must be positive and finite,"
+                f" got {self.heartbeat_period}")
+        if not math.isfinite(self.conviction_threshold):
+            raise ValueError("conviction_threshold must be finite")
+        if self.heartbeat_period >= self.conviction_threshold:
+            raise ValueError(
+                f"heartbeat_period ({self.heartbeat_period}) must be"
+                f" below conviction_threshold"
+                f" ({self.conviction_threshold}): a peer must get at"
+                " least one heartbeat per conviction window or every"
+                " healthy peer is convicted")
+        if self.conviction_threshold <= self.rto_min:
+            raise ValueError(
+                f"conviction_threshold ({self.conviction_threshold})"
+                f" must exceed the RTO floor ({self.rto_min}): a"
+                " conviction faster than one retransmission round"
+                " declares live peers dead on ordinary jitter")
 
 
 #: The calibration used throughout the reproduction: a 1998 SP with

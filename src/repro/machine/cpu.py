@@ -28,7 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim import Simulator
     from .config import MachineConfig
 
-__all__ = ["Cpu", "Thread", "INTERRUPT", "HANDLER", "NORMAL"]
+__all__ = ["Cpu", "Thread", "TASK_CRASHED", "INTERRUPT", "HANDLER",
+           "NORMAL"]
 
 #: Priority for first-level interrupt handler threads.
 INTERRUPT = 0
@@ -36,6 +37,38 @@ INTERRUPT = 0
 HANDLER = 5
 #: Priority for ordinary application threads.
 NORMAL = 10
+
+
+class _TaskCrashed:
+    """Singleton sentinel a killed process completes with.
+
+    Killed processes *succeed* with this value (so ``AllOf`` aggregates
+    see completion, not failure); ``run_job`` surfaces it as the result
+    slot of a crashed rank.  Falsy, and pickles back to the singleton,
+    so ``result is TASK_CRASHED`` works across ``--jobs N`` workers.
+    """
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls) -> "_TaskCrashed":
+        inst = cls._instance
+        if inst is None:
+            inst = cls._instance = super().__new__(cls)
+        return inst
+
+    def __repr__(self) -> str:
+        return "TASK_CRASHED"
+
+    def __reduce__(self):
+        return (_TaskCrashed, ())
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Result sentinel for ranks whose node suffered a fail-stop crash.
+TASK_CRASHED = _TaskCrashed()
 
 
 class Thread:
@@ -176,11 +209,37 @@ class Cpu:
         #: (:class:`repro.faults.runtime._CpuFaults`) stretching
         #: ``Thread.execute`` bursts; None = full speed (default).
         self.faults = None
+        #: True after a fail-stop crash killed every thread.  Restart
+        #: does *not* clear it: the machine comes back but the task
+        #: that was running stays dead (fail-stop semantics).
+        self.crashed = False
+
+    def crash(self) -> int:
+        """Fail-stop: kill every live thread at its current yield point.
+
+        Returns the number of threads killed.  Each killed process
+        completes with :data:`TASK_CRASHED` (success, not failure, so
+        ``run_job``'s ``AllOf`` still resolves once survivors finish).
+        The CPU lock is left as-is -- nothing will ever acquire it
+        again because :meth:`spawn` refuses on a crashed CPU.
+        """
+        self.crashed = True
+        killed = 0
+        for process in list(self._by_process):
+            if process.is_alive:
+                process.kill(TASK_CRASHED)
+                killed += 1
+        self._by_process.clear()
+        return killed
 
     def spawn(self, body: Callable[[Thread], Generator], *,
               name: Optional[str] = None,
               priority: int = NORMAL) -> Thread:
         """Create and start a thread running ``body``."""
+        if self.crashed:
+            raise MachineError(
+                f"cpu{self.node_id} has crashed; cannot spawn threads"
+                " on a dead node")
         self._spawned += 1
         label = name or f"cpu{self.node_id}.t{self._spawned}"
         return Thread(self, body, label, priority)

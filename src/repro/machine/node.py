@@ -34,5 +34,30 @@ class Node:
         self.memory = Memory(node_id, max_allocation=config.max_allocation)
         self.adapter = Adapter(sim, node_id, config, trace=trace)
 
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """True while the node is fail-stop dead."""
+        return self.adapter.crashed
+
+    def crash(self) -> int:
+        """Fail-stop the whole node: kill threads, silence the adapter.
+
+        Returns the number of threads killed.  Order matters: the
+        adapter goes dark first so nothing a dying thread already
+        scheduled can still reach the wire at this instant.
+        """
+        self.adapter.crash()
+        return self.cpu.crash()
+
+    def restart(self) -> None:
+        """Machine-level restart: the adapter answers traffic again.
+
+        The killed threads stay dead (fail-stop -- the task does not
+        come back); protocol state is cleared by the resilience
+        runtime's restart hook.
+        """
+        self.adapter.restart()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Node {self.node_id}>"

@@ -118,7 +118,8 @@ class Mpl:
             timeout=cfg.mpl_retrans_timeout,
             adaptive=adaptive, rto_min=cfg.rto_min,
             rto_max=cfg.rto_max, backoff=cfg.rto_backoff,
-            degraded_after=cfg.peer_degraded_after)
+            degraded_after=cfg.peer_degraded_after,
+            retry_budget=cfg.retry_budget)
         self.dispatcher = MplDispatcher(self)
         self.transport.wait_credit = self._wait_credit
         self.transport.on_progress = self.ctx.progress_ws.notify_all
@@ -130,6 +131,9 @@ class Mpl:
         self.client.on_arrival = self._spawn_interrupt_dispatcher
         self.client.interrupts_enabled = self.interrupt_mode
         self._register_metrics()
+        resilience = self.task.cluster.resilience
+        if resilience is not None:
+            resilience.attach_stack(self.task.node.node_id, self)
         self._initialized = True
 
     def _register_metrics(self) -> None:
@@ -184,6 +188,44 @@ class Mpl:
             self.transport.on_ack(packet)
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # fail-stop peer handling (driven by repro.resilience)
+    # ------------------------------------------------------------------
+    def peer_unreachable(self, peer: int, err: Exception) -> None:
+        """The failure detector convicted ``peer``.
+
+        Clean up first (open the breaker, complete unacked traffic in
+        error so window/fence waiters unblock) and only then route the
+        error by policy -- under ``on_peer_failure="continue"`` the
+        survivors keep running against the reduced peer set.
+        """
+        self.ctx.dead_peers.add(peer)
+        self.transport.peer_down(peer)
+        self.ctx.progress_ws.notify_all()
+        if self.task.cluster.on_peer_failure == "fail":
+            # MPL has no user error-handler hook; conviction goes
+            # straight to structured run termination.
+            self.task.cluster.fail_run(err)
+
+    def peer_absolved(self, peer: int) -> None:
+        """A convicted peer answered a heartbeat again (restart)."""
+        self.transport.breaker_close(peer)
+
+    def crash_reset(self) -> None:
+        """Discard all protocol state after this node's crash.
+
+        Fail-stop semantics: the restarted node remembers nothing --
+        matching queues, rendezvous handshakes, and transport windows
+        all start empty.
+        """
+        self.transport._tx.clear()
+        self.transport._rx.clear()
+        ctx = self.ctx
+        ctx.recv_msgs.clear()
+        ctx.rndv_waiting.clear()
+        ctx.match.unexpected.clear()
+        ctx.match.posted.clear()
 
     def term(self) -> Generator:
         """Quiesce (collective) and detach."""

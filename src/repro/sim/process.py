@@ -97,9 +97,38 @@ class Process(Event):
         wakeup.callbacks.append(self._resume)
         wakeup.fail(Interrupt(cause))
 
+    def kill(self, value: Any = None) -> None:
+        """Terminate the process in place, completing it with ``value``.
+
+        Unlike :meth:`interrupt`, the generator never sees an exception:
+        it is closed at its current yield point (fail-stop semantics --
+        the body gets no chance to react).  The process *succeeds* with
+        ``value`` so that aggregates like :class:`AllOf` treat the death
+        as completion, not failure; callers distinguish killed processes
+        by the sentinel they pass.  Killing a dead process is a no-op.
+        Stale kernel wakeups (pooled float timers already scheduled for
+        this process) become no-ops via the ``_gen is None`` guard in
+        :meth:`_resume`.
+        """
+        if not self.is_alive:
+            return
+        target = self._target
+        if target is not None and not target.processed:
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+        self._target = None
+        gen = self._gen
+        self._gen = None
+        if gen is not None:
+            gen.close()
+        self.sim._unregister_process(self)
+        self.succeed(value)
+
     # ------------------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
         """Advance the generator with the outcome of ``trigger``."""
+        if self._gen is None:  # killed: stale wakeup, nothing to drive
+            return
         self._target = None
         sim = self.sim
         prev_active = sim._active_process

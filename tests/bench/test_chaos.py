@@ -6,7 +6,8 @@ from repro.bench import parallel, runner
 from repro.bench.chaos import (CHAOS_BYTES, CHAOS_SEED,
                                CHAOS_WINDOW_US, chaos_jobs,
                                chaos_point, chaos_scenarios,
-                               degradation_pct, run_chaos)
+                               crash_scenarios, degradation_pct,
+                               run_chaos)
 from repro.bench.parallel import sweep
 from repro.faults import FaultSchedule, GilbertElliott, LinkOutage
 
@@ -99,9 +100,10 @@ class TestRunChaos:
     def test_quick_sweep_passes_all_checks(self):
         result = run_chaos(quick=True)
         assert result.all_passed, result.render()
-        assert len(result.rows) == len(chaos_scenarios(quick=True))
-        assert set(result.payload) == {n for n, _
-                                       in chaos_scenarios(quick=True)}
+        expected = [n for n, _ in chaos_scenarios(quick=True)]
+        expected += [n for n, _ in crash_scenarios(quick=True)]
+        assert len(result.rows) == len(expected)
+        assert set(result.payload) == set(expected)
 
     def test_parallel_matches_serial(self, restore_engine):
         serial = sweep(chaos_jobs(quick=True))

@@ -15,6 +15,7 @@ class _FakeAdapter:
 
     def __init__(self, node_id=0, async_budget=10**9):
         self.node_id = node_id
+        self.crashed = False
         self.data = []
         self.asynced = []
         self.control = []

@@ -1,0 +1,265 @@
+"""Crash recovery for survivors: breaker, handlers, blocked fences.
+
+Unit tests drive the circuit breaker on a bare transport; integration
+tests crash a node mid-``gfence`` and check the survivors resolve with
+structured errors (or continue degraded) within one detection period
+of the failure detector.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench.chaos import (CHAOS_BYTES, CHAOS_MSGS_QUICK, CRASH_AT_US,
+                               crash_point, crash_scenarios)
+from repro.core.reliability import ReliableTransport
+from repro.errors import PeerUnreachableError
+from repro.faults import FaultSchedule, NodeCrash
+from repro.machine import TASK_CRASHED, Cluster
+from repro.machine.config import SP_1998
+from repro.machine.packet import Packet
+from repro.sim import Simulator
+
+
+class _StubAdapter:
+    node_id = 0
+    crashed = False
+
+    def __init__(self):
+        self.injected = []
+
+    def inject(self, thread, packet):
+        self.injected.append(packet)
+        return
+        yield  # pragma: no cover - make this a generator
+
+    def inject_async(self, packet):
+        self.injected.append(packet)
+        return True
+
+    def inject_control(self, packet):
+        self.injected.append(packet)
+
+
+def _transport(**kw):
+    sim = Simulator()
+    kw.setdefault("window", 2)
+    kw.setdefault("timeout", 1000.0)
+    return sim, ReliableTransport(sim, _StubAdapter(), "t", **kw)
+
+
+def _data(dst=1):
+    return Packet(src=0, dst=dst, proto="t", kind="data",
+                  header_bytes=8, payload=b"x" * 32)
+
+
+class TestCircuitBreaker:
+    def test_peer_down_completes_in_flight_in_error(self):
+        sim, tr = _transport()
+        fired = []
+        sim.process(tr.send_data(None, _data(), on_ack=lambda: fired.append(1)))
+        sim.process(tr.send_data(None, _data(), on_ack=lambda: fired.append(2)))
+        sim.run(until=10.0)
+        assert tr.outstanding_total() == 2
+        tr.peer_down(1)
+        # Counters fired (completion in error) and state drained.
+        assert fired == [1, 2]
+        assert tr.completed_in_error == 2
+        assert tr.outstanding_total() == 0
+        assert tr.breaker_is_open(1)
+        assert tr.breaker_opens == 1
+        # Window credits were posted: the window is full again.
+        assert tr._peer_tx(1).window.value == 2
+        # Idempotent.
+        tr.peer_down(1)
+        assert tr.breaker_opens == 1
+
+    def test_send_data_raises_fast_while_open(self):
+        sim, tr = _transport()
+        tr.peer_down(1)
+        gen = tr.send_data(None, _data())
+        with pytest.raises(PeerUnreachableError, match="breaker open"):
+            next(gen)
+        # Other peers are unaffected.
+        sim.process(tr.send_data(None, _data(dst=2)))
+        sim.run(until=1.0)
+        assert tr.outstanding_total() == 1
+
+    def test_send_control_suppressed_and_counted(self):
+        sim, tr = _transport()
+        tr.peer_down(1)
+        before = len(tr.adapter.injected)
+        tr.send_control(Packet(src=0, dst=1, proto="t", kind="fence",
+                               header_bytes=8))
+        assert len(tr.adapter.injected) == before  # nothing on the wire
+        assert tr.breaker_suppressed == 1
+        assert tr.metrics()["breaker_suppressed"] == 1
+
+    def test_breaker_close_restores_traffic(self):
+        sim, tr = _transport()
+        tr.peer_down(1)
+        st = tr._peer_tx(1)
+        st.backoff_mult = 8.0
+        tr.breaker_close(1)
+        assert not tr.breaker_is_open(1)
+        assert tr.breaker_closes == 1
+        assert st.backoff_mult == 1.0  # Karn backoff reset
+        assert tr.peer_health(1) == "healthy"
+        sim.process(tr.send_data(None, _data()))
+        sim.run(until=1.0)
+        assert tr.outstanding_total() == 1
+        # Closing an already-closed breaker is a no-op.
+        tr.breaker_close(1)
+        assert tr.breaker_closes == 1
+
+    def test_retry_budget_property_precedence(self):
+        # No config: falls back to the class cap, and the historical
+        # instance-attribute override idiom keeps working.
+        _, tr = _transport()
+        assert tr.retry_budget == ReliableTransport.MAX_RETRANSMITS_PER_PACKET
+        tr.MAX_RETRANSMITS_PER_PACKET = 2
+        assert tr.retry_budget == 2
+        # An explicit budget (what the stacks pass from MachineConfig)
+        # wins over the class cap.
+        _, tr2 = _transport(retry_budget=7)
+        tr2.MAX_RETRANSMITS_PER_PACKET = 2
+        assert tr2.retry_budget == 7
+
+
+CRASH_RANK = 3
+CRASH_AT = 900.0
+#: Worst-case detection latency of the heartbeat detector, plus slack
+#: for the dissemination rounds that follow the conviction.
+DETECT_BOUND = (SP_1998.conviction_threshold + SP_1998.heartbeat_period
+                + 500.0)
+
+
+def _fence_workload(task):
+    """Everyone aligns, then the survivors gfence across the crash."""
+    yield from task.lapi.gfence()
+    # The crash rank parks so it dies mid-sleep; survivors enter the
+    # second gfence after the crash instant and block on its token.
+    yield from task.thread.sleep(5000.0 if task.rank == CRASH_RANK
+                                 else 1200.0)
+    entered = task.now()
+    yield from task.lapi.gfence()
+    return (entered, task.now())
+
+
+class TestCrashMidGfence:
+    def _schedule(self):
+        return FaultSchedule([NodeCrash(node=CRASH_RANK, start=CRASH_AT)])
+
+    def test_survivors_unblock_within_detection_period(self):
+        cluster = Cluster(nnodes=16, faults=self._schedule())
+        results = cluster.run_job(_fence_workload, stacks=("lapi",),
+                                  until=1_000_000.0,
+                                  on_peer_failure="continue")
+        assert results[CRASH_RANK] is TASK_CRASHED
+        survivors = [r for i, r in enumerate(results) if i != CRASH_RANK]
+        assert len(survivors) == 15
+        for entered, done in survivors:
+            assert entered > CRASH_AT  # really blocked across the crash
+            assert done - CRASH_AT <= DETECT_BOUND
+        # Every survivor convicted the dead rank exactly once.
+        convicted = sorted(obs for _, obs, peer
+                           in cluster.resilience.convictions
+                           if peer == CRASH_RANK)
+        assert convicted == [n for n in range(16) if n != CRASH_RANK]
+
+    def test_fail_policy_raises_for_survivors(self):
+        cluster = Cluster(nnodes=16, faults=self._schedule())
+        with pytest.raises(PeerUnreachableError) as exc:
+            cluster.run_job(_fence_workload, stacks=("lapi",),
+                            until=1_000_000.0)
+        assert exc.value.peer == CRASH_RANK
+        assert exc.value.via == "heartbeat"
+        assert exc.value.convicted_us - CRASH_AT <= DETECT_BOUND
+
+
+class TestErrorHandlerSatellites:
+    def _run(self, handler, nnodes=3):
+        sched = FaultSchedule([NodeCrash(node=1, start=700.0)])
+        cluster = Cluster(nnodes=nnodes, faults=sched)
+
+        def main(task):
+            yield from task.lapi.gfence()
+            yield from task.thread.sleep(4000.0)
+            return task.rank
+
+        results = cluster.run_job(main, stacks=("lapi",),
+                                  until=500_000.0,
+                                  error_handler=handler)
+        return cluster, results
+
+    def test_non_callable_handler_rejected_at_init(self):
+        from repro.errors import LapiError
+        with pytest.raises(LapiError, match="must be callable"):
+            self._run(handler=42)
+
+    def test_raising_handler_fails_run_with_cause(self):
+        def handler(err):
+            raise RuntimeError("handler exploded")
+
+        with pytest.raises(RuntimeError, match="handler exploded") as exc:
+            self._run(handler)
+        cause = exc.value.__cause__
+        assert isinstance(cause, PeerUnreachableError)
+        assert cause.via == "heartbeat"
+        assert cause.peer == 1
+
+    def test_truthy_handler_suppresses_and_survivors_continue(self):
+        seen = []
+
+        def handler(err):
+            seen.append(err)
+            return True  # handled: keep running degraded
+
+        cluster, results = self._run(handler)
+        assert results[0] == 0 and results[2] == 2
+        assert results[1] is TASK_CRASHED
+        # Both survivors' stacks consulted the handler.
+        assert sorted(e.node for e in seen) == [0, 2]
+        assert all(e.peer == 1 and e.via == "heartbeat" for e in seen)
+
+    def test_error_pickles_with_detector_context(self):
+        """``--jobs N`` ships these across the pool boundary."""
+        seen = []
+        self._run(lambda err: seen.append(err) or True)
+        err = seen[0]
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, PeerUnreachableError)
+        assert str(clone) == str(err)
+        assert clone.proto == "lapi"
+        assert clone.node == err.node
+        assert clone.peer == 1
+        assert clone.via == "heartbeat"
+        assert clone.last_heard_us == err.last_heard_us
+        assert clone.convicted_us == err.convicted_us
+
+
+class TestChaosCrashPoints:
+    def test_crash_point_is_deterministic(self):
+        scenarios = dict(crash_scenarios(quick=True))
+        sched = scenarios["node_crash"]
+        a = crash_point(CHAOS_BYTES, CHAOS_MSGS_QUICK, sched)
+        b = crash_point(CHAOS_BYTES, CHAOS_MSGS_QUICK, sched)
+        assert a == b
+        assert a["convictions"]
+        assert a["detection_latency_us"] is not None
+        assert a["detection_latency_us"] <= (SP_1998.conviction_threshold
+                                             + SP_1998.heartbeat_period)
+
+    def test_crash_baseline_has_no_crash_machinery(self):
+        scenarios = dict(crash_scenarios(quick=True))
+        rec = crash_point(CHAOS_BYTES, CHAOS_MSGS_QUICK, scenarios["crash_baseline"])
+        assert rec["crash_events"] == []
+        assert rec["convictions"] == []
+        assert rec["crash_dropped"] == 0
+        assert rec["threads_killed"] == 0
+
+    def test_restart_scenario_records_recovery(self):
+        scenarios = dict(crash_scenarios(quick=True))
+        rec = crash_point(CHAOS_BYTES, CHAOS_MSGS_QUICK, scenarios["node_crash_restart"])
+        assert rec["recoveries"]
+        assert all(t > CRASH_AT_US for t, _, _ in rec["recoveries"])

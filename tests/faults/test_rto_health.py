@@ -21,6 +21,7 @@ from repro.sim import Simulator
 
 class _StubAdapter:
     node_id = 0
+    crashed = False
 
     def __init__(self):
         self.injected = []
